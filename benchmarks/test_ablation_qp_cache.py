@@ -1,0 +1,49 @@
+"""Ablation: the NIC Queue-Pair context cache.
+
+Isolates the mechanism DESIGN.md and the paper ([8,16,17]) hold
+responsible for the many-Queue-Pair designs' collapse on FDR at 16 nodes:
+re-run MEMQ/SR with the context cache disabled (infinite cache) and show
+the degradation disappears.
+"""
+
+from conftest import run_once, show
+
+from repro.bench.report import ExperimentResult, Series
+from repro.bench.workloads import run_repartition
+from repro.cluster import Cluster
+from repro.fabric.config import FDR, ClusterConfig
+
+MIB = 1 << 20
+
+
+def _throughput(nodes: int, disable_cache: bool) -> float:
+    cluster = Cluster(ClusterConfig(network=FDR, num_nodes=nodes))
+    for node in cluster.nodes:
+        node.nic.disable_qp_cache = disable_cache
+    result = run_repartition(cluster, "MEMQ/SR", bytes_per_node=36 * MIB)
+    return result.receive_throughput_gib_per_node()
+
+
+def ablate():
+    node_counts = (8, 16)
+    with_cache = [_throughput(n, disable_cache=False) for n in node_counts]
+    without = [_throughput(n, disable_cache=True) for n in node_counts]
+    return ExperimentResult(
+        experiment="ablation-qp-cache",
+        title="MEMQ/SR on FDR with and without the QP context-cache limit",
+        x_label="nodes", x=list(node_counts),
+        y_label="receive throughput per node (GiB/s)",
+        series=[Series("finite cache (real NIC)", with_cache),
+                Series("infinite cache (ablated)", without)],
+    )
+
+
+def test_qp_cache_ablation(benchmark):
+    result = run_once(benchmark, ablate)
+    show(result)
+    real = result.series_by_label("finite cache (real NIC)")
+    ablated = result.series_by_label("infinite cache (ablated)")
+    # With the real cache, 16 nodes collapse; without it, they don't.
+    assert real.y[1] < 0.7 * real.y[0]
+    assert ablated.y[1] > 0.85 * ablated.y[0]
+    assert ablated.y[1] > 1.5 * real.y[1]

@@ -1,0 +1,32 @@
+"""Figure 8: flow-control (credit write-back frequency) overhead."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig8
+from repro.fabric.config import EDR, FDR
+
+
+def test_fig8_edr(benchmark):
+    result = run_once(benchmark, fig8, EDR,
+                      frequencies=(1, 2, 4, 16), scale=0.2)
+    show(result)
+    # Paper: "performance degradation due to the credit mechanism is not
+    # very significant" — amortizing write-backs must not change any
+    # Send/Receive design's throughput by more than ~25%.
+    for series in result.series:
+        if series.label in ("MPI", "qperf"):
+            continue
+        assert max(series.y) < 1.25 * min(series.y), series.label
+    # The RDMA designs beat MPI at every frequency.
+    mpi = result.series_by_label("MPI").y[0]
+    assert max(result.series_by_label("MESQ/SR").y) > mpi
+
+
+def test_fig8_fdr(benchmark):
+    result = run_once(benchmark, fig8, FDR,
+                      frequencies=(1, 4, 16), scale=0.2)
+    show(result)
+    for series in result.series:
+        if series.label in ("MPI", "qperf"):
+            continue
+        assert max(series.y) < 1.3 * min(series.y), series.label

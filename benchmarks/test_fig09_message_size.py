@@ -1,0 +1,37 @@
+"""Figure 9: effect of the RC message size on throughput and memory."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig9
+
+
+def test_fig9_throughput_and_memory(benchmark):
+    throughput, memory = run_once(
+        benchmark, fig9,
+        sizes=(4 << 10, 64 << 10, 1 << 20), scale=0.35)
+    show([throughput, memory])
+
+    # Fig 9(a): MQ designs gain from larger messages — 64 KiB must beat
+    # 4 KiB for the Send/Receive RC designs.  (The RD designs follow the
+    # same curve at full volume but are noisy on the reduced grid, where
+    # a 1 MiB-message run transfers only a couple dozen messages.)
+    for design in ("SEMQ/SR", "MEMQ/SR"):
+        s = throughput.series_by_label(design)
+        assert s.y[1] > s.y[0], f"{design}: 64KiB should beat 4KiB"
+
+    # UD designs are pinned at the MTU: message size changes nothing
+    # (allow measurement noise at reduced volumes).
+    for design in ("MESQ/SR", "SESQ/SR"):
+        s = throughput.series_by_label(design)
+        assert max(s.y) < 1.35 * min(s.y)
+
+    # Fig 9(b): registered memory grows ~linearly with message size for
+    # the RC designs and stays flat (and far smaller) for UD.
+    for design in ("SEMQ/SR", "MEMQ/SR"):
+        m = memory.series_by_label(design)
+        assert m.y[2] > 30 * m.y[0]  # grows strongly with message size
+        assert m.y[2] > 50  # ~100+ MiB at 1 MiB messages
+    ud = memory.series_by_label("MESQ/SR")
+    assert max(ud.y) == min(ud.y)  # flat
+    assert max(ud.y) < 8  # a few MiB at most
+    assert memory.series_by_label("SEMQ/SR").y[2] > 20 * max(ud.y)

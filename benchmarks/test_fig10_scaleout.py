@@ -1,0 +1,55 @@
+"""Figure 10: repartition/broadcast throughput when scaling out.
+
+The headline result: MESQ/SR scales flat on both generations while the
+many-Queue-Pair designs degrade on FDR at 16 nodes; the RDMA designs beat
+MPI and IPoIB throughout.
+"""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig10
+from repro.fabric.config import EDR, FDR
+
+
+def test_fig10_scaleout(benchmark):
+    results = run_once(benchmark, fig10,
+                       networks=(FDR, EDR),
+                       node_counts=(2, 8, 16), scale=0.2)
+    show(results)
+    by_name = {r.experiment: r for r in results}
+
+    # Fig 10(a) FDR repartition: ME MQ designs collapse at 16 nodes
+    # (QP-context cache thrash); MESQ/SR stays near its 8-node level.
+    fdr = by_name["fig10a"]
+    memq_sr = fdr.series_by_label("MEMQ/SR")
+    memq_rd = fdr.series_by_label("MEMQ/RD")
+    mesq = fdr.series_by_label("MESQ/SR")
+    assert memq_sr.y[2] < 0.7 * memq_sr.y[1], "MQ/SR should degrade at 16"
+    assert memq_rd.y[2] < 0.7 * memq_rd.y[1], "MQ/RD should degrade at 16"
+    assert mesq.y[2] > 0.85 * mesq.y[1], "MESQ/SR should hold at 16"
+    assert mesq.y[2] > 1.5 * memq_sr.y[2]
+
+    # Fig 10(c) EDR repartition: no MQ collapse (bigger context cache),
+    # and the RDMA designs beat MPI and IPoIB by a wide margin at scale.
+    edr = by_name["fig10c"]
+    assert edr.series_by_label("MEMQ/SR").y[2] > \
+        0.6 * edr.series_by_label("MEMQ/SR").y[1]
+    mesq_16 = edr.series_by_label("MESQ/SR").y[2]
+    assert mesq_16 > 1.5 * edr.series_by_label("MPI").y[2]
+    assert mesq_16 > 2.0 * edr.series_by_label("IPoIB").y[2]
+
+    # Fig 10(b,d) broadcast: the RDMA Read designs fall behind the
+    # Send/Receive designs (buffer reuse waits for the slowest reader).
+    for panel in ("fig10b", "fig10d"):
+        bc = by_name[panel]
+        assert bc.series_by_label("SEMQ/SR").y[1] > \
+            bc.series_by_label("SEMQ/RD").y[1]
+
+    # qperf bounds every algorithm's repartition throughput (approx).
+    for panel in ("fig10a", "fig10c"):
+        r = by_name[panel]
+        qperf = r.series_by_label("qperf").y[0]
+        for s in r.series:
+            if s.label == "qperf":
+                continue
+            assert max(s.y) <= 1.15 * qperf, s.label

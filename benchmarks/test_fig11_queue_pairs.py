@@ -1,0 +1,25 @@
+"""Figure 11: effect of the number of Queue Pairs (EDR, 16 nodes)."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_queue_pairs(benchmark):
+    result = run_once(benchmark, fig11,
+                      endpoint_counts=(1, 4, 8), scale=0.2)
+    show(result)
+    # The SQ/SR family reaches its best throughput with at most t QPs;
+    # the MQ families need n*k QPs for theirs (paper: "MESQ/SR achieves
+    # higher throughput ... with fewer Queue Pairs").
+    sq = result.series_by_label("SQ/SR")
+    mq_sr = result.series_by_label("MQ/SR")
+    sq_best_qps = result.x[max(range(len(result.x)),
+                               key=lambda i: (sq.y[i] or 0))]
+    mq_best_qps = result.x[max(range(len(result.x)),
+                               key=lambda i: (mq_sr.y[i] or 0))]
+    assert sq_best_qps <= 8
+    assert mq_best_qps >= 16
+    best_sq = max(v for v in sq.y if v is not None)
+    best_mq = max(v for v in mq_sr.y if v is not None)
+    assert best_sq > 0.85 * best_mq

@@ -1,0 +1,31 @@
+"""Figure 12 + §5.1.5: RDMA connection setup cost."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig12, setup_crossover_mb
+
+
+def test_fig12_connection_time(benchmark):
+    result = run_once(benchmark, fig12, node_counts=(2, 4, 8, 16))
+    show(result)
+    # MQ designs grow linearly with the cluster; SQ designs stay stable.
+    for design in ("MEMQ/SR", "MEMQ/RD", "SEMQ/SR", "SEMQ/RD"):
+        s = result.series_by_label(design)
+        assert s.y[-1] > 3 * s.y[0], f"{design} should grow with n"
+    for design in ("MESQ/SR", "SESQ/SR"):
+        s = result.series_by_label(design)
+        assert s.y[-1] < 1.5 * s.y[0], f"{design} should stay stable"
+    # Paper: "the set up time for the MESQ/SR algorithm stays stable at
+    # less than 40 ms when scaling out".
+    assert max(result.series_by_label("MESQ/SR").y) < 40.0
+    # ME designs take longer than their SE counterparts.
+    assert result.value("MEMQ/SR", 16) > result.value("SEMQ/SR", 16)
+
+
+def test_setup_crossover(benchmark):
+    """§5.1.5: queries shuffling as little as a few hundred MB with
+    MESQ/SR beat IPoIB even when connections are built at runtime."""
+    crossover = run_once(benchmark, setup_crossover_mb, scale=0.4)
+    print(f"\nMESQ/SR-vs-IPoIB crossover with runtime setup: "
+          f"{crossover:.0f} MB (paper: ~250 MB)")
+    assert crossover < 1000.0

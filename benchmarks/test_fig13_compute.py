@@ -1,0 +1,27 @@
+"""Figure 13: performance under compute-intensive receiving fragments."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_compute_overlap(benchmark):
+    result = run_once(benchmark, fig13,
+                      compute_us=(0.0, 15.0, 40.0), scale=0.15)
+    show(result)
+    # Network-bound on the left: nobody overlaps fully at zero compute.
+    for s in result.series:
+        assert s.y[0] < 60.0, s.label
+    # As compute grows, the bespoke RDMA designs hide communication
+    # almost completely; MESQ/SR reaches peak overlap earliest (§5.1.6).
+    mesq_40 = result.value("MESQ/SR", 40.0)
+    # (full-scale runs reach ~91%; reduced volumes are warmup-deflated)
+    assert mesq_40 > 70.0
+    assert result.value("MESQ/SR", 15.0) > 2.5 * result.value("MESQ/SR", 0.0)
+    # MPI fails to overlap communication and computation (§5.1.6); IPoIB
+    # tops out early too.
+    assert result.value("MPI", 40.0) < 0.7 * mesq_40
+    assert result.value("IPoIB", 40.0) < 0.85 * mesq_40
+    # Every curve is monotone increasing in compute intensity.
+    for s in result.series:
+        assert s.y == sorted(s.y), s.label

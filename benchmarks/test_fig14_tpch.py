@@ -1,0 +1,47 @@
+"""Figure 14: TPC-H query response time (MESQ/SR vs MPI vs local data)."""
+
+from conftest import run_once, show
+
+from repro.bench.experiments import fig14a, fig14_scaling
+
+
+def test_fig14a_network_upgrade(benchmark):
+    result = run_once(benchmark, fig14a, scale_factor=0.03, threads=4)
+    show(result)
+    mpi = result.series_by_label("MPI")
+    mesq = result.series_by_label("MESQ/SR")
+    local = result.series_by_label("local data")
+    for i, network in enumerate(result.x):
+        # MESQ/SR beats MPI and tracks the no-shuffle plan (§5.2.1).
+        assert mesq.y[i] < mpi.y[i], network
+        assert mesq.y[i] < 1.6 * local.y[i], network
+    # Upgrading FDR -> EDR speeds up both, and MESQ/SR keeps pace with
+    # the local-data improvement while MPI lags.
+    assert mesq.y[1] < mesq.y[0]
+    assert mpi.y[1] < mpi.y[0]
+
+
+def test_fig14b_q4_scaling(benchmark):
+    result = run_once(benchmark, fig14_scaling, "Q4",
+                      scale_factor_per_node=0.004,
+                      node_counts=(2, 4, 8), threads=4)
+    show(result)
+    for i in range(len(result.x)):
+        assert result.series_by_label("MESQ/SR").y[i] < \
+            result.series_by_label("MPI").y[i]
+
+
+def test_fig14c_q3_scaling(benchmark):
+    result = run_once(benchmark, fig14_scaling, "Q3",
+                      scale_factor_per_node=0.004,
+                      node_counts=(2, 8), threads=4)
+    show(result)
+    assert result.value("MESQ/SR", 8) < result.value("MPI", 8)
+
+
+def test_fig14d_q10_scaling(benchmark):
+    result = run_once(benchmark, fig14_scaling, "Q10",
+                      scale_factor_per_node=0.004,
+                      node_counts=(2, 8), threads=4)
+    show(result)
+    assert result.value("MESQ/SR", 8) < result.value("MPI", 8)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Explore the shuffle design space (the paper's Figure 2 / Table 1).
+
+Sweeps the two orthogonal design dimensions — endpoints per operator and
+endpoint implementation — across both network generations and cluster
+sizes, then prints a compact scorecard: throughput, Queue Pairs, pinned
+memory and connection-setup time for every design.  This is the
+at-a-glance version of the paper's whole evaluation story: MESQ/SR is
+never far from the best throughput while using the fewest resources.
+
+Run:  python examples/design_space.py  (takes a couple of minutes)
+"""
+
+from repro import Cluster, ClusterConfig, EDR, FDR
+from repro.bench.workloads import run_repartition
+
+MIB = 1 << 20
+DESIGNS = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR", "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
+
+
+def main() -> None:
+    for network, nodes in ((EDR, 8), (FDR, 16)):
+        print(f"\n=== {network.name} InfiniBand, {nodes} nodes ===")
+        print(f"{'design':8s} {'GiB/s/node':>10s} {'QPs':>5s} "
+              f"{'pinned MiB':>10s} {'setup ms':>9s}")
+        for design in DESIGNS:
+            volume = (8 if design.endswith('SQ/SR') else 32) * MIB
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes))
+            result = run_repartition(cluster, design,
+                                     bytes_per_node=volume)
+            print(f"{design:8s} "
+                  f"{result.receive_throughput_gib_per_node():10.2f} "
+                  f"{result.qps_per_node:5d} "
+                  f"{result.registered_bytes_per_node / MIB:10.2f} "
+                  f"{result.setup_ns / 1e6:9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Wire MPI / IPoIB endpoints through the standard ShuffleStage."""
+
+from __future__ import annotations
+
+from repro.baselines.ipoib import IPoIBReceiveEndpoint, IPoIBSendEndpoint
+from repro.baselines.mpi import MPIReceiveEndpoint, MPISendEndpoint
+from repro.core.designs import Design, register_endpoint_kind
+from repro.core.stage import ShuffleStage
+
+__all__ = ["baseline_stage", "BASELINE_DESIGNS"]
+
+register_endpoint_kind("MPI", MPISendEndpoint, MPIReceiveEndpoint)
+register_endpoint_kind("IPOIB", IPoIBSendEndpoint, IPoIBReceiveEndpoint)
+
+#: Baselines run with one endpoint per thread so that the comparison
+#: isolates the transport, not the endpoint-sharing dimension (the MPI
+#: runtime and kernel TCP stack serialize per node regardless).
+BASELINE_DESIGNS = {
+    "MPI": Design("MPI", "MPI", multi_endpoint=True),
+    "IPoIB": Design("IPoIB", "IPOIB", multi_endpoint=True),
+}
+
+
+def baseline_stage(fabric, name: str, groups, config=None, threads=None,
+                   registry=None) -> ShuffleStage:
+    """A ShuffleStage running on a baseline transport ("MPI", "IPoIB")."""
+    return ShuffleStage(fabric, BASELINE_DESIGNS[name], groups,
+                        config=config, threads=threads, registry=registry)

@@ -1,0 +1,19 @@
+"""Benchmark harness: workloads, experiment drivers, and reporting.
+
+One driver exists for every table and figure of the paper's evaluation
+(§5); see DESIGN.md for the experiment index.  The drivers return plain
+data structures; :mod:`repro.bench.report` renders them in the same
+rows/series layout the paper plots.
+"""
+
+from repro.bench.workloads import (
+    ShuffleRunResult,
+    run_broadcast,
+    run_repartition,
+)
+
+__all__ = [
+    "ShuffleRunResult",
+    "run_broadcast",
+    "run_repartition",
+]

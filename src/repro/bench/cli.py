@@ -1,0 +1,68 @@
+"""Command-line entry point: ``repro-bench``.
+
+Regenerates the paper's tables and figures::
+
+    repro-bench table1 fig12            # specific experiments
+    repro-bench --all --scale 0.25      # everything, quick mode
+    repro-bench fig10 --json out.json   # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import render
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the tables and figures of 'Design and "
+                    "Evaluation of an RDMA-aware Data Shuffling Operator "
+                    "for Parallel Database Systems' (EuroSys '17).",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiments to run: {', '.join(ALL_EXPERIMENTS)}")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="volume/scale-factor multiplier (default 1.0; "
+                             "use 0.25 for a quick pass)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="additionally dump results as JSON")
+    args = parser.parse_args(argv)
+
+    names = list(ALL_EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    collected = []
+    for name in names:
+        start = time.time()
+        results = ALL_EXPERIMENTS[name](scale=args.scale)
+        for result in results:
+            print(render(result))
+            print()
+            collected.append(dataclasses.asdict(result))
+        print(f"[{name} done in {time.time() - start:.1f}s]",
+              file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

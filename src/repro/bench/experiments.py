@@ -1,0 +1,403 @@
+"""Drivers that regenerate every table and figure of the evaluation (§5).
+
+Each ``figN`` function reproduces the corresponding figure's data; the
+returned :class:`~repro.bench.report.ExperimentResult` holds the same
+x-axis and series the paper plots.  A global ``scale`` parameter shrinks
+transfer volumes for quick runs (the benchmarks use ``scale=0.25``); the
+shapes are volume-independent once past warmup.
+
+Simulated volumes are far below the paper's 160 GiB per node — throughput
+is steady-state within tens of MiB — and TPC-H scale factors are reduced
+proportionally; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.qperf import run_qperf
+from repro.bench.report import ExperimentResult, Series
+from repro.bench.workloads import run_broadcast, run_repartition
+from repro.cluster import Cluster
+from repro.core.designs import DESIGNS, design_properties
+from repro.core.endpoint import EndpointConfig
+from repro.core.groups import TransmissionGroups
+from repro.core.stage import ShuffleStage
+from repro.fabric.config import EDR, FDR, ClusterConfig, NetworkConfig
+from repro.tpch import generate, run_query
+
+__all__ = [
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14a", "fig14_scaling", "table1", "ALL_EXPERIMENTS",
+]
+
+MIB = 1 << 20
+
+#: the paper's plotting order for the six designs.
+SIX = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR", "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
+SR_DESIGNS = ["SEMQ/SR", "MEMQ/SR", "SESQ/SR", "MESQ/SR"]
+
+
+def _volume(design: str, scale: float, nodes: int = 8,
+            pattern: str = "repartition") -> int:
+    """Per-node transfer volume: UD runs cost more host time per byte."""
+    base = 24 * MIB if design.endswith("SQ/SR") else 72 * MIB
+    if design in ("MPI", "IPoIB"):
+        base = 24 * MIB
+    base = int(base * scale)
+    if pattern == "broadcast":
+        base = base // max(1, nodes - 1)
+    return max(2 * MIB, base)
+
+
+def _throughput(network: NetworkConfig, design: str, nodes: int,
+                pattern: str, scale: float,
+                config: Optional[EndpointConfig] = None,
+                num_endpoints: Optional[int] = None,
+                threads: int = 0) -> float:
+    cluster = Cluster(ClusterConfig(network=network, num_nodes=nodes,
+                                    threads_per_node=threads))
+    runner = run_repartition if pattern == "repartition" else run_broadcast
+    result = runner(cluster, design,
+                    bytes_per_node=_volume(design, scale, nodes, pattern),
+                    config=config, num_endpoints=num_endpoints)
+    return result.receive_throughput_gib_per_node()
+
+
+# -- Figure 8: credit write-back frequency ------------------------------------------
+
+
+def fig8(network: NetworkConfig = EDR, nodes: int = 8,
+         frequencies: Sequence[int] = (1, 2, 3, 4, 8, 16),
+         scale: float = 1.0) -> ExperimentResult:
+    """Fig 8: flow-control overhead of the Send/Receive designs.
+
+    Matches §5.1.1's setup: 16 RDMA buffers per remote node per thread;
+    the x axis is how many Receives the receiver posts before writing
+    credit back.
+    """
+    series = []
+    for design in ["SEMQ/SR", "MEMQ/SR", "SESQ/SR", "MESQ/SR"]:
+        ys = []
+        for freq in frequencies:
+            cfg = EndpointConfig(buffers_per_connection=16,
+                                 credit_frequency=freq, ud_window_factor=1)
+            ys.append(_throughput(network, design, nodes, "repartition",
+                                  scale, config=cfg))
+        series.append(Series(design, ys))
+    mpi = _throughput(network, "MPI", nodes, "repartition", scale)
+    series.append(Series("MPI", [mpi] * len(frequencies)))
+    qperf = run_qperf(network)
+    series.append(Series("qperf", [qperf] * len(frequencies)))
+    return ExperimentResult(
+        experiment=f"fig8-{network.name}",
+        title=f"Credit write-back frequency, {network.name} "
+              f"({nodes} nodes)",
+        x_label="credit update frequency", x=list(frequencies),
+        y_label="receive throughput per node (GiB/s)", series=series,
+        notes="16 buffers per remote node per thread (§5.1.1)",
+    )
+
+
+# -- Figure 9: message size (throughput + pinned memory) ------------------------------
+
+
+def fig9(network: NetworkConfig = EDR, nodes: int = 8,
+         sizes: Sequence[int] = (4 << 10, 16 << 10, 64 << 10, 256 << 10,
+                                 1 << 20),
+         scale: float = 1.0):
+    """Fig 9(a,b): RC message size vs throughput and registered memory."""
+    throughput = {d: [] for d in SIX}
+    memory = {d: [] for d in SIX}
+    for size in sizes:
+        for design in SIX:
+            cfg = EndpointConfig(message_size=size)
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes))
+            result = run_repartition(
+                cluster, design,
+                bytes_per_node=_volume(design, scale, nodes),
+                config=cfg)
+            throughput[design].append(
+                result.receive_throughput_gib_per_node())
+            memory[design].append(
+                result.registered_bytes_per_node / MIB)
+    thr = ExperimentResult(
+        experiment=f"fig9a-{network.name}",
+        title=f"Effect of message size ({network.name}): throughput",
+        x_label="message size (B)", x=list(sizes),
+        y_label="receive throughput per node (GiB/s)",
+        series=[Series(d, throughput[d]) for d in SIX],
+        notes="UD designs are pinned at the 4 KiB MTU regardless of the "
+              "requested size (§2.2.2)",
+    )
+    mem = ExperimentResult(
+        experiment=f"fig9b-{network.name}",
+        title=f"Effect of message size ({network.name}): pinned memory",
+        x_label="message size (B)", x=list(sizes),
+        y_label="registered memory per node (MiB)",
+        series=[Series(d, memory[d]) for d in SIX],
+        notes="double buffering per thread per destination (§5.1.2)",
+    )
+    return thr, mem
+
+
+# -- Figure 10: throughput when scaling out ---------------------------------------------
+
+
+def fig10(networks: Sequence[NetworkConfig] = (FDR, EDR),
+          node_counts: Sequence[int] = (2, 4, 8, 16),
+          scale: float = 1.0) -> List[ExperimentResult]:
+    """Fig 10(a-d): repartition and broadcast throughput vs cluster size."""
+    results = []
+    panel = {("FDR", "repartition"): "fig10a", ("FDR", "broadcast"): "fig10b",
+             ("EDR", "repartition"): "fig10c", ("EDR", "broadcast"): "fig10d"}
+    for network in networks:
+        for pattern in ("repartition", "broadcast"):
+            series = []
+            for design in SIX + ["MPI", "IPoIB"]:
+                ys = [
+                    _throughput(network, design, n, pattern, scale)
+                    for n in node_counts
+                ]
+                series.append(Series(design, ys))
+            qperf = run_qperf(network)
+            if pattern == "repartition":  # qperf has no broadcast mode
+                series.append(Series("qperf", [qperf] * len(node_counts)))
+            results.append(ExperimentResult(
+                experiment=panel[(network.name, pattern)],
+                title=f"{pattern.capitalize()} throughput, "
+                      f"{network.name} InfiniBand",
+                x_label="nodes", x=list(node_counts),
+                y_label="receive throughput per node (GiB/s)",
+                series=series,
+            ))
+    return results
+
+
+# -- Figure 11: number of Queue Pairs --------------------------------------------------
+
+
+def fig11(network: NetworkConfig = EDR, nodes: int = 16,
+          endpoint_counts: Sequence[int] = (1, 2, 4, 8),
+          scale: float = 1.0) -> ExperimentResult:
+    """Fig 11: throughput vs Queue Pairs per operator (EDR, 16 nodes).
+
+    The endpoint count k sweeps between the SE (k=1) and ME (k=t)
+    extremes; the resulting QPs per operator are k for SQ designs and
+    n*k for MQ designs.
+    """
+    x_qps: List[int] = []
+    rows: Dict[str, Dict[int, float]] = {"SQ/SR": {}, "MQ/SR": {}, "MQ/RD": {}}
+    for k in endpoint_counts:
+        for kind, design in (("SQ/SR", "MESQ/SR"), ("MQ/SR", "MEMQ/SR"),
+                             ("MQ/RD", "MEMQ/RD")):
+            qps = k if kind == "SQ/SR" else k * nodes
+            thr = _throughput(network, design, nodes, "repartition", scale,
+                              num_endpoints=k)
+            rows[kind][qps] = thr
+            if qps not in x_qps:
+                x_qps.append(qps)
+    x_qps.sort()
+    series = [
+        Series(kind, [rows[kind].get(q) for q in x_qps])
+        for kind in ("SQ/SR", "MQ/SR", "MQ/RD")
+    ]
+    return ExperimentResult(
+        experiment="fig11",
+        title=f"Effect of many Queue Pairs ({network.name}, {nodes} nodes)",
+        x_label="QPs per operator", x=x_qps,
+        y_label="receive throughput per node (GiB/s)", series=series,
+        notes="endpoint count sweeps 1..t; QPs = k (SQ) or n*k (MQ)",
+    )
+
+
+# -- Figure 12: connection setup cost ---------------------------------------------------
+
+
+def fig12(network: NetworkConfig = EDR,
+          node_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16),
+          threads: int = 0) -> ExperimentResult:
+    """Fig 12: time to build the RDMA connections vs cluster size."""
+    series = {d: [] for d in SIX}
+    for nodes in node_counts:
+        for design in SIX:
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes,
+                                            threads_per_node=threads))
+            stage = ShuffleStage(cluster.fabric, design,
+                                 TransmissionGroups.repartition(nodes),
+                                 registry=cluster.registry)
+            cluster.run_process(stage.setup())
+            series[design].append(stage.max_setup_ns / 1e6)
+    return ExperimentResult(
+        experiment="fig12",
+        title=f"Time to build RDMA connections ({network.name})",
+        x_label="nodes", x=list(node_counts),
+        y_label="time (ms)",
+        series=[Series(d, series[d]) for d in SIX],
+        notes="per-node setup: QP creation + handshake + registration; "
+              "MQ designs grow linearly, SQ designs stay flat (§5.1.5)",
+    )
+
+
+def setup_crossover_mb(network: NetworkConfig = EDR, nodes: int = 8,
+                       scale: float = 1.0) -> float:
+    """§5.1.5 claim: the shuffle volume above which MESQ/SR with runtime
+    connection setup beats IPoIB (which needs none worth counting)."""
+    cluster = Cluster(ClusterConfig(network=network, num_nodes=nodes))
+    stage = ShuffleStage(cluster.fabric, "MESQ/SR",
+                         TransmissionGroups.repartition(nodes),
+                         registry=cluster.registry)
+    cluster.run_process(stage.setup())
+    setup_s = stage.max_setup_ns / 1e9
+    mesq = _throughput(network, "MESQ/SR", nodes, "repartition", scale)
+    ipoib = _throughput(network, "IPoIB", nodes, "repartition", scale)
+    if mesq <= ipoib:
+        return float("inf")
+    # volume V satisfying V/ipoib == setup + V/mesq (GiB/s -> MB).
+    volume_gib = setup_s / (1.0 / ipoib - 1.0 / mesq)
+    return volume_gib * 1024.0
+
+
+# -- Figure 13: compute-intensive receiving fragment ----------------------------------------
+
+
+def fig13(network: NetworkConfig = EDR, nodes: int = 8,
+          compute_us: Sequence[float] = (0.0, 2.5, 5.0, 10.0, 15.0, 25.0,
+                                         40.0),
+          scale: float = 1.0) -> ExperimentResult:
+    """Fig 13: relative shuffling throughput as the receiving fragment
+    becomes compute intensive (batches of 32 KiB, §5.1.6).
+
+    The y-axis is the receiving fragment's busy fraction — the measured
+    share of receiver-thread time not blocked waiting for data.  It
+    reaches 100% exactly when communication is completely overlapped
+    with computation, matching the paper's definition.
+    """
+    batch = 32 * 1024
+    series = []
+    for design in SIX + ["MPI", "IPoIB"]:
+        ys = []
+        for c_us in compute_us:
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes))
+            result = run_repartition(
+                cluster, design,
+                bytes_per_node=_volume(design, scale, nodes),
+                compute_ns_per_batch=c_us * 1000.0,
+                receive_output_bytes=batch)
+            ys.append(100.0 * result.receiver_busy_fraction())
+        series.append(Series(design, ys))
+    return ExperimentResult(
+        experiment="fig13",
+        title=f"Compute-intensive receiving fragment ({network.name})",
+        x_label="compute per 32KiB batch (us)", x=list(compute_us),
+        y_label="relative shuffling throughput (%)",
+        series=series,
+        notes="100% = communication fully hidden behind computation",
+    )
+
+
+# -- Figure 14: TPC-H ---------------------------------------------------------------------
+
+
+def fig14a(scale_factor: float = 0.06, nodes: int = 8,
+           threads: int = 0) -> ExperimentResult:
+    """Fig 14(a): TPC-H Q4 response time, FDR vs EDR, 8 nodes."""
+    series = {"MPI": [], "MESQ/SR": [], "local data": []}
+    for network in (FDR, EDR):
+        data = generate(scale_factor, nodes, seed=42)
+        for design in ("MPI", "MESQ/SR"):
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes,
+                                            threads_per_node=threads))
+            res = run_query(cluster, "Q4", data, design=design)
+            series[design].append(res.response_time_ms())
+        local = generate(scale_factor, nodes, seed=42, copartition=True)
+        cluster = Cluster(ClusterConfig(network=network, num_nodes=nodes,
+                                        threads_per_node=threads))
+        res = run_query(cluster, "Q4", local, design="MESQ/SR",
+                        local_data=True)
+        series["local data"].append(res.response_time_ms())
+    return ExperimentResult(
+        experiment="fig14a",
+        title=f"TPC-H Q4 response time, {nodes} nodes, SF={scale_factor}",
+        x_label="network", x=["FDR", "EDR"],
+        y_label="response time (ms)",
+        series=[Series(k, v) for k, v in series.items()],
+    )
+
+
+def fig14_scaling(query: str, scale_factor_per_node: float = 0.0075,
+                  node_counts: Sequence[int] = (2, 4, 8, 16),
+                  threads: int = 0) -> ExperimentResult:
+    """Fig 14(b,c,d): query response time as the database grows in
+    proportion to the cluster (Q4, Q3, Q10)."""
+    labels = {"Q4": "fig14b", "Q3": "fig14c", "Q10": "fig14d"}
+    series = {"MPI": [], "MESQ/SR": []}
+    if query == "Q4":
+        series["local data"] = []
+    for nodes in node_counts:
+        sf = scale_factor_per_node * nodes
+        data = generate(sf, nodes, seed=42)
+        for design in ("MPI", "MESQ/SR"):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                            threads_per_node=threads))
+            res = run_query(cluster, query, data, design=design)
+            series[design].append(res.response_time_ms())
+        if query == "Q4":
+            local = generate(sf, nodes, seed=42, copartition=True)
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                            threads_per_node=threads))
+            res = run_query(cluster, "Q4", local, design="MESQ/SR",
+                            local_data=True)
+            series["local data"].append(res.response_time_ms())
+    return ExperimentResult(
+        experiment=labels[query],
+        title=f"TPC-H {query} response time, EDR, DB grows with cluster",
+        x_label="nodes", x=list(node_counts),
+        y_label="response time (ms)",
+        series=[Series(k, v) for k, v in series.items()],
+        notes=f"SF = {scale_factor_per_node} per node (scaled-down "
+              "stand-in for the paper's 100 GiB per node)",
+    )
+
+
+# -- Table 1 ------------------------------------------------------------------------------
+
+
+def table1(nodes: int = 16, threads: int = 8) -> ExperimentResult:
+    """Table 1: the design-property matrix, including live QP counts."""
+    rows = design_properties(nodes, threads)
+    return ExperimentResult(
+        experiment="table1",
+        title=f"Design alternatives (n={nodes} nodes, t={threads} threads)",
+        x_label="design", x=[r["design"] for r in rows],
+        y_label="properties",
+        series=[
+            Series("QPs/op", [r["qps_per_operator"] for r in rows]),
+            Series("connections", [r["open_connections"] for r in rows]),
+            Series("contention", [r["thread_contention"] for r in rows]),
+            Series("resources", [r["resource_consumption"] for r in rows]),
+        ],
+    )
+
+
+#: experiment registry for the CLI.
+ALL_EXPERIMENTS = {
+    "fig8": lambda scale=1.0: [fig8(EDR, scale=scale), fig8(FDR, scale=scale)],
+    "fig9": lambda scale=1.0: list(fig9(scale=scale)),
+    "fig10": lambda scale=1.0: fig10(scale=scale),
+    "fig11": lambda scale=1.0: [fig11(scale=scale)],
+    "fig12": lambda scale=1.0: [fig12()],
+    "fig13": lambda scale=1.0: [fig13(scale=scale)],
+    "fig14a": lambda scale=1.0: [fig14a(scale_factor=0.06 * scale)],
+    "fig14b": lambda scale=1.0: [fig14_scaling(
+        "Q4", scale_factor_per_node=0.0075 * scale)],
+    "fig14c": lambda scale=1.0: [fig14_scaling(
+        "Q3", scale_factor_per_node=0.0075 * scale)],
+    "fig14d": lambda scale=1.0: [fig14_scaling(
+        "Q10", scale_factor_per_node=0.0075 * scale)],
+    "table1": lambda scale=1.0: [table1()],
+}

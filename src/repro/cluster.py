@@ -1,0 +1,51 @@
+"""Convenience bundle: simulator + fabric + verbs contexts + registry.
+
+Most examples, tests and benchmarks start from a :class:`Cluster`:
+
+>>> from repro import Cluster, ClusterConfig, EDR
+>>> cluster = Cluster(ClusterConfig(network=EDR, num_nodes=8))
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fabric.config import ClusterConfig
+from repro.fabric.network import Fabric, Node
+from repro.sim import Simulator
+from repro.verbs.cm import EndpointRegistry
+from repro.verbs.device import VerbsContext
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A ready-to-use simulated cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, config)
+        self.contexts: List[VerbsContext] = [
+            VerbsContext(self.sim, self.fabric, i)
+            for i in range(config.num_nodes)
+        ]
+        self.registry = EndpointRegistry()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def threads_per_node(self) -> int:
+        return self.config.threads_per_node
+
+    @property
+    def nodes(self) -> List[Node]:
+        return self.fabric.nodes
+
+    def run(self, until=None) -> int:
+        return self.sim.run(until)
+
+    def run_process(self, generator, name: str = ""):
+        return self.sim.run_process(generator, name=name)

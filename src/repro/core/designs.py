@@ -1,0 +1,170 @@
+"""The six shuffling-operator designs (§4.5, Table 1).
+
+Two orthogonal dimensions:
+
+* endpoint count per operator — single endpoint shared by all threads
+  (SE) or one endpoint per thread (ME);
+* endpoint implementation — single Queue Pair with Send/Receive over UD
+  (SQ/SR), per-peer Queue Pairs with Send/Receive over RC (MQ/SR), or
+  per-peer Queue Pairs with RDMA Read over RC (MQ/RD).
+
+``WR_RC`` (RDMA Write over RC) implements the paper's first future-work
+item and is exposed as two extra designs (SEMQ/WR, MEMQ/WR) for the
+extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
+
+from repro.core.endpoint import ReceiveEndpoint, SendEndpoint
+from repro.core.read_rc import ReadRCReceiveEndpoint, ReadRCSendEndpoint
+from repro.core.sr_rc import SRRCReceiveEndpoint, SRRCSendEndpoint
+from repro.core.sr_ud import SRUDReceiveEndpoint, SRUDSendEndpoint
+
+__all__ = ["Design", "DESIGNS", "design_properties"]
+
+
+_ENDPOINT_CLASSES: Dict[str, Tuple[Type[SendEndpoint], Type[ReceiveEndpoint]]] = {
+    "SR_UD": (SRUDSendEndpoint, SRUDReceiveEndpoint),
+    "SR_RC": (SRRCSendEndpoint, SRRCReceiveEndpoint),
+    "RD_RC": (ReadRCSendEndpoint, ReadRCReceiveEndpoint),
+}
+
+
+def register_endpoint_kind(kind: str, send_cls, recv_cls) -> None:
+    """Register an additional endpoint implementation (e.g. WR_RC)."""
+    _ENDPOINT_CLASSES[kind] = (send_cls, recv_cls)
+
+
+@dataclass(frozen=True)
+class Design:
+    """One point in the design space of Table 1."""
+
+    name: str
+    endpoint_kind: str  # key into the endpoint-class registry
+    multi_endpoint: bool
+
+    @property
+    def send_cls(self) -> Type[SendEndpoint]:
+        return _ENDPOINT_CLASSES[self.endpoint_kind][0]
+
+    @property
+    def recv_cls(self) -> Type[ReceiveEndpoint]:
+        return _ENDPOINT_CLASSES[self.endpoint_kind][1]
+
+    @property
+    def uses_ud(self) -> bool:
+        return self.endpoint_kind in ("SR_UD", "SR_UD_MC")
+
+    @property
+    def one_sided(self) -> bool:
+        return self.endpoint_kind in ("RD_RC", "WR_RC")
+
+    def num_endpoints(self, threads: int) -> int:
+        """Endpoints per operator: 1 (SE) or t (ME)."""
+        return threads if self.multi_endpoint else 1
+
+    def qps_per_operator(self, num_nodes: int, threads: int) -> int:
+        """The "Open connections (QPs) per node" column of Table 1."""
+        per_endpoint = 1 if self.uses_ud else num_nodes
+        return self.num_endpoints(threads) * per_endpoint
+
+    # -- Table 1 descriptive columns -----------------------------------------
+
+    @property
+    def connections_label(self) -> str:
+        if self.uses_ud:
+            return "t" if self.multi_endpoint else "1"
+        return "n*t" if self.multi_endpoint else "n"
+
+    @property
+    def resource_consumption(self) -> str:
+        if self.uses_ud:
+            return "Moderate" if self.multi_endpoint else "Minimal"
+        return "Excessive" if self.multi_endpoint else "Moderate"
+
+    @property
+    def thread_contention(self) -> str:
+        if self.multi_endpoint:
+            return "None"
+        return "Excessive" if self.uses_ud else "Moderate"
+
+    @property
+    def messaging(self) -> str:
+        return ("Half-trip, up to 4 KiB" if self.uses_ud
+                else "Round-trip, up to 1 GiB")
+
+    @property
+    def transport(self) -> str:
+        return ("Unreliable Datagram (UD), error control in software"
+                if self.uses_ud
+                else "Reliable Connection (RC), error control in hardware")
+
+    @property
+    def flow_control(self) -> str:
+        return ("One-sided, flow control in hardware" if self.one_sided
+                else "Two-sided, flow control in software")
+
+
+#: the six designs of the paper, plus the future-work RDMA Write variants
+#: (added to the registry by :mod:`repro.core.write_rc` at import).
+DESIGNS: Dict[str, Design] = {
+    "MEMQ/RD": Design("MEMQ/RD", "RD_RC", multi_endpoint=True),
+    "SEMQ/RD": Design("SEMQ/RD", "RD_RC", multi_endpoint=False),
+    "MEMQ/SR": Design("MEMQ/SR", "SR_RC", multi_endpoint=True),
+    "SEMQ/SR": Design("SEMQ/SR", "SR_RC", multi_endpoint=False),
+    "MESQ/SR": Design("MESQ/SR", "SR_UD", multi_endpoint=True),
+    "SESQ/SR": Design("SESQ/SR", "SR_UD", multi_endpoint=False),
+}
+
+#: the order the paper lists the six designs in.
+PAPER_ORDER = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR", "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
+
+
+def _register_mcast_design() -> None:
+    """Add the hardware-multicast MESQ/SR variant (§7 future work)."""
+    from repro.core.mcast import (
+        McastSRUDReceiveEndpoint,
+        McastSRUDSendEndpoint,
+    )
+    register_endpoint_kind("SR_UD_MC", McastSRUDSendEndpoint,
+                           McastSRUDReceiveEndpoint)
+    DESIGNS["MESQ/SR+MC"] = Design("MESQ/SR+MC", "SR_UD_MC",
+                                   multi_endpoint=True)
+
+
+def _register_write_designs() -> None:
+    """Add the RDMA Write endpoint (§7 future work) to the registry."""
+    from repro.core.write_rc import (
+        WriteRCReceiveEndpoint,
+        WriteRCSendEndpoint,
+    )
+    register_endpoint_kind("WR_RC", WriteRCSendEndpoint,
+                           WriteRCReceiveEndpoint)
+    DESIGNS["MEMQ/WR"] = Design("MEMQ/WR", "WR_RC", multi_endpoint=True)
+    DESIGNS["SEMQ/WR"] = Design("SEMQ/WR", "WR_RC", multi_endpoint=False)
+
+
+_register_mcast_design()
+_register_write_designs()
+
+
+def design_properties(num_nodes: int, threads: int) -> List[dict]:
+    """Rows reproducing Table 1 for a concrete cluster size."""
+    rows = []
+    for name in ["MEMQ/RD", "MEMQ/SR", "SEMQ/RD", "SEMQ/SR", "MESQ/SR",
+                 "SESQ/SR"]:
+        d = DESIGNS[name]
+        rows.append({
+            "design": name,
+            "open_connections": d.connections_label,
+            "qps_per_operator": d.qps_per_operator(num_nodes, threads),
+            "resource_consumption": d.resource_consumption,
+            "thread_contention": d.thread_contention,
+            "messaging": d.messaging,
+            "transport": d.transport,
+            "flow_control": d.flow_control,
+        })
+    return rows

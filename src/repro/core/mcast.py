@@ -1,0 +1,101 @@
+"""MESQ/SR with native InfiniBand multicast — future work #3 (§7).
+
+    "Third, we plan to specialize the MESQ/SR algorithm to use the native
+    InfiniBand multicast primitive for broadcasting data.  We hypothesize
+    that this will reduce the CPU cost during analytical query
+    processing."
+
+The send endpoint posts *one* Send work request per buffer for any
+transmission group with more than one member: the datagram is addressed
+to a multicast group the receivers' QPs joined at connection time, and
+the switch performs the replication.  The sender thus pays one
+``ibv_post_send`` and one egress serialization instead of ``|G|`` of
+them — exactly the CPU and port-bandwidth saving the paper hypothesizes.
+
+Flow control still operates per member (credit must be available on
+*every* member before the single Send is posted), and the per-member
+message counting of §4.4.2 is unchanged, so loss handling and
+end-of-stream detection work exactly as in the base design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.endpoint import DataState, Frame, FrameCarrier
+from repro.core.sr_ud import SRUDReceiveEndpoint, SRUDSendEndpoint
+from repro.memory import Buffer
+from repro.verbs.cm import EndpointRegistry
+from repro.verbs.constants import Opcode, mcast_ah
+from repro.verbs.wr import SendWR
+
+__all__ = ["McastSRUDSendEndpoint", "McastSRUDReceiveEndpoint"]
+
+
+class McastSRUDSendEndpoint(SRUDSendEndpoint):
+    """SRUD send endpoint using hardware multicast for group sends."""
+
+    transport = "SQ/SR+MC"
+
+    def setup(self, registry: EndpointRegistry):
+        yield from super().setup(registry)
+        # The endpoint id doubles as the MGID; receivers join it.
+        info = registry.lookup(("ep", self.endpoint_id))
+        info["mgid"] = self.endpoint_id
+
+    def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
+        # The HCA does not loop a multicast datagram back to its sender,
+        # so a group containing this node needs one explicit self copy.
+        me = self.ctx.node_id
+        others = [d for d in dests if d != me]
+        if len(others) < 2:
+            yield from super().send(buf, dests, state)
+            return
+        yield from self.lock.critical_section(
+            self.net.cpu(self.net.endpoint_send_ns))
+        self._pending[buf] = 1 + (1 if me in dests else 0)
+        # Per-member flow control: every destination must have credit.
+        for dest in dests:
+            yield from self._wait_credit(self._links[dest])
+        for dest in dests:
+            self._links[dest].sent += 1
+        frame = Frame(
+            kind="data", state=state, src_endpoint=self.endpoint_id,
+            seq=0, payload=buf.payload, length=buf.length,
+            remote_addr=buf.addr,
+        )
+        yield self._cpu(self.net.post_wr_ns)
+        self.qp.post_send(SendWR(
+            wr_id=("data", buf), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=buf.length,
+            dest=mcast_ah(self.endpoint_id),
+        ))
+        self.messages_sent += 1
+        self.bytes_sent += buf.length
+        if me in dests:
+            yield self._cpu(self.net.post_wr_ns)
+            self.qp.post_send(SendWR(
+                wr_id=("data", buf), opcode=Opcode.SEND,
+                buffer=FrameCarrier(frame), length=buf.length,
+                dest=self._links[me].ah,
+            ))
+            self.messages_sent += 1
+            self.bytes_sent += buf.length
+
+    def _send_finals(self):
+        # Finals carry per-destination totals, so they go point-to-point.
+        yield from super()._send_finals()
+
+
+class McastSRUDReceiveEndpoint(SRUDReceiveEndpoint):
+    """SRUD receive endpoint that joins its sources' multicast groups."""
+
+    transport = "SQ/SR+MC"
+
+    def connect(self, registry: EndpointRegistry):
+        yield from super().connect(registry)
+        for _src_node, src_ep in self.sources:
+            info = registry.lookup(("ep", src_ep))
+            mgid = info.get("mgid")
+            if mgid is not None:
+                self.ctx.mcast_attach(mgid, self.qp)

@@ -1,0 +1,65 @@
+"""The RECEIVE operator (§4.3.2, Algorithm 2).
+
+Each worker thread asks its endpoint for received buffers, copies them
+into its thread-partitioned output buffer (cost charged through the CPU
+model), releases the transmission buffer back to the endpoint, and
+returns the output batch to the parent once full.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.endpoint import ReceiveEndpoint
+from repro.engine.operator import Operator, OpState, concat_batches
+
+__all__ = ["ReceiveOperator"]
+
+
+class ReceiveOperator(Operator):
+    """Algorithm 2: fetch, copy, release, emit."""
+
+    def __init__(self, node, endpoints: Sequence[ReceiveEndpoint],
+                 num_threads: int, output_bytes: int = 32 * 1024):
+        super().__init__(node, child=None)
+        if not endpoints:
+            raise ValueError("receive needs at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.num_threads = num_threads
+        #: emit an output batch once this many bytes have accumulated
+        #: (the paper uses 32 KiB, the L1 data cache size, in §5.1.6).
+        self.output_bytes = output_bytes
+        self.tuples_in = 0
+
+    def _endpoint(self, tid: int) -> ReceiveEndpoint:
+        return self.endpoints[tid % len(self.endpoints)]
+
+    def next(self, tid: int):
+        target = self._endpoint(tid)
+        net = self.node.config
+        acc: List[np.ndarray] = []
+        acc_bytes = 0
+        while True:
+            state, src, remote, local = yield from target.get_data()
+            if local is None:
+                # End-of-stream sentinel: every source is depleted.
+                batch = concat_batches(acc)
+                if batch is not None:
+                    self.tuples_in += len(batch)
+                return (OpState.DEPLETED, batch)
+            payload, length = local.payload, local.length
+            # Copy out of the registered buffer (Alg 2 l.8) and return it
+            # to the endpoint (l.9).
+            yield self.per_tuple_cost(0, length,
+                                      ns_per_byte=net.copy_ns_per_byte)
+            if payload is not None and len(payload):
+                acc.append(np.asarray(payload))
+                acc_bytes += length
+            yield from target.release(remote, local, src)
+            if acc_bytes >= self.output_bytes:
+                batch = concat_batches(acc)
+                if batch is not None:
+                    self.tuples_in += len(batch)
+                return (OpState.MORE_DATA, batch)

@@ -1,0 +1,38 @@
+"""A tunable compute stage.
+
+Used by the compute-intensity experiment (§5.1.6, Fig 13): the receiving
+plan fragment fetches batches from the RECEIVE operator and then spends a
+configurable amount of CPU time per batch, simulating the compute demand
+of real queries.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operator import Operator, OpState, batch_nbytes
+
+__all__ = ["ComputeOperator"]
+
+
+class ComputeOperator(Operator):
+    """Burns ``ns_per_batch`` of CPU per non-empty child batch.
+
+    ``ns_per_byte`` optionally scales the cost with batch size instead.
+    """
+
+    def __init__(self, node, child: Operator, ns_per_batch: float = 0.0,
+                 ns_per_byte: float = 0.0):
+        super().__init__(node, child)
+        if ns_per_batch < 0 or ns_per_byte < 0:
+            raise ValueError("compute costs must be non-negative")
+        self.ns_per_batch = ns_per_batch
+        self.ns_per_byte = ns_per_byte
+        self.batches = 0
+
+    def next(self, tid: int):
+        state, batch = yield from self.child.next(tid)
+        if batch is not None and len(batch):
+            self.batches += 1
+            cost = self.ns_per_batch + self.ns_per_byte * batch_nbytes(batch)
+            if cost:
+                yield self.cpu(cost)
+        return (state, batch)

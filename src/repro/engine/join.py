@@ -1,0 +1,139 @@
+"""In-memory hash join.
+
+The build side is drained cooperatively by all worker threads into a
+shared hash table the first time any thread calls NEXT; a barrier then
+separates the build and probe phases, after which threads probe their own
+batches independently — the standard parallel hash-join structure of
+in-memory engines [20].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+from numpy.lib import recfunctions as rfn
+
+from repro.engine.operator import Operator, OpState, concat_batches
+from repro.sim import Barrier, Mutex
+
+__all__ = ["HashJoinOperator"]
+
+#: per-tuple hash-table insert cost.
+BUILD_NS_PER_TUPLE = 12.0
+#: per-tuple probe cost.
+PROBE_NS_PER_TUPLE = 10.0
+
+
+class HashJoinOperator(Operator):
+    """Equi-join: ``build.key == probe.key``.
+
+    Output batches concatenate the probe columns with the build columns
+    (build columns may be renamed through ``build_prefix`` to avoid
+    clashes).  ``semi=True`` turns it into a left semi-join on the probe
+    side (used by TPC-H Q4's EXISTS).
+    """
+
+    def __init__(self, node, build: Operator, probe: Operator,
+                 build_key: str, probe_key: str, num_threads: int,
+                 semi: bool = False, build_payload: Optional[List[str]] = None):
+        super().__init__(node, probe)
+        self.build = build
+        self.probe = probe
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.semi = semi
+        self.build_payload = build_payload
+        self.num_threads = num_threads
+        self._table: Dict[int, List[int]] = {}
+        self._build_rows: List[np.ndarray] = []
+        self._build_lock = Mutex(node.sim)
+        self._barrier = Barrier(node.sim, num_threads)
+        self._built = [False] * num_threads
+        self._build_array: Optional[np.ndarray] = None
+        self._right_array: Optional[np.ndarray] = None
+
+    # -- build phase ---------------------------------------------------------
+
+    def _build_phase(self, tid: int):
+        while True:
+            state, batch = yield from self.build.next(tid)
+            if batch is not None and len(batch):
+                yield self.per_tuple_cost(len(batch),
+                                          ns_per_tuple=BUILD_NS_PER_TUPLE)
+                yield self._build_lock.acquire()
+                self._build_rows.append(batch)
+                self._build_lock.unlock()
+            if state == OpState.DEPLETED:
+                break
+        yield self._barrier.arrive()
+        # Thread 0 finalizes the table; everyone else waits at a second
+        # barrier so probes never see a half-built table.
+        if tid == 0:
+            self._finalize_table()
+        yield self._barrier.arrive()
+
+    def _finalize_table(self) -> None:
+        array = concat_batches(self._build_rows)
+        self._build_rows = []
+        if array is None:
+            self._build_array = None
+            self._right_array = None
+            return
+        self._build_array = array
+        keys = array[self.build_key]
+        for i, key in enumerate(keys.tolist()):
+            self._table.setdefault(key, []).append(i)
+        # The columns carried to the output: the requested payload, or
+        # everything except the (redundant) build key.
+        names = list(array.dtype.names)
+        payload = (self.build_payload if self.build_payload is not None
+                   else [c for c in names if c != self.build_key])
+        payload = [c for c in payload if c in names]
+        if payload:
+            self._right_array = rfn.repack_fields(array[payload])
+        else:
+            self._right_array = None
+
+    # -- probe phase -----------------------------------------------------------
+
+    def next(self, tid: int):
+        if not self._built[tid]:
+            yield from self._build_phase(tid)
+            self._built[tid] = True
+        while True:
+            state, batch = yield from self.probe.next(tid)
+            if batch is None or not len(batch):
+                if state == OpState.DEPLETED:
+                    return (OpState.DEPLETED, None)
+                continue
+            yield self.per_tuple_cost(len(batch),
+                                      ns_per_tuple=PROBE_NS_PER_TUPLE)
+            joined = self._probe_batch(batch)
+            if joined is not None or state == OpState.DEPLETED:
+                return (state, joined)
+
+    def _probe_batch(self, batch: np.ndarray) -> Optional[np.ndarray]:
+        if self._build_array is None and not self.semi:
+            return None
+        keys = batch[self.probe_key].tolist()
+        if self.semi:
+            mask = np.fromiter(
+                (k in self._table for k in keys), dtype=bool, count=len(keys))
+            kept = batch[mask]
+            return kept if len(kept) else None
+        probe_idx: List[int] = []
+        build_idx: List[int] = []
+        for i, key in enumerate(keys):
+            for j in self._table.get(key, ()):
+                probe_idx.append(i)
+                build_idx.append(j)
+        if not probe_idx:
+            return None
+        left = batch[np.asarray(probe_idx)]
+        if self._right_array is None:
+            return left
+        right = self._right_array[np.asarray(build_idx)]
+        merged = rfn.merge_arrays((left, right), flatten=True,
+                                  usemask=False, asrecarray=False)
+        return merged

@@ -1,0 +1,36 @@
+"""Map operator: vectorized batch-to-batch transformation."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.operator import Operator, OpState
+
+__all__ = ["MapOperator"]
+
+#: per-tuple cost of evaluating a scalar expression.
+MAP_NS_PER_TUPLE = 1.0
+
+
+class MapOperator(Operator):
+    """Applies ``fn(batch) -> batch`` to every non-empty child batch.
+
+    Used for derived columns, e.g. TPC-H revenue
+    ``l_extendedprice * (1 - l_discount)``.
+    """
+
+    def __init__(self, node, child: Operator,
+                 fn: Callable[[np.ndarray], np.ndarray],
+                 ns_per_tuple: float = MAP_NS_PER_TUPLE):
+        super().__init__(node, child)
+        self.fn = fn
+        self.ns_per_tuple = ns_per_tuple
+
+    def next(self, tid: int):
+        state, batch = yield from self.child.next(tid)
+        if batch is None or not len(batch):
+            return (state, None)
+        yield self.per_tuple_cost(len(batch), ns_per_tuple=self.ns_per_tuple)
+        return (state, self.fn(batch))

@@ -1,0 +1,34 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from numpy.lib import recfunctions as rfn
+
+from repro.engine.operator import Operator, OpState
+
+__all__ = ["ProjectOperator"]
+
+#: per-tuple cost of materializing the projected columns.
+PROJECT_NS_PER_TUPLE = 0.5
+
+
+class ProjectOperator(Operator):
+    """Keeps a subset of columns of a structured-array batch."""
+
+    def __init__(self, node, child: Operator, columns: Sequence[str]):
+        super().__init__(node, child)
+        if not columns:
+            raise ValueError("projection needs at least one column")
+        self.columns = list(columns)
+
+    def next(self, tid: int):
+        state, batch = yield from self.child.next(tid)
+        if batch is None or not len(batch):
+            return (state, None)
+        yield self.per_tuple_cost(len(batch),
+                                  ns_per_tuple=PROJECT_NS_PER_TUPLE)
+        projected = rfn.repack_fields(batch[self.columns])
+        return (state, projected)

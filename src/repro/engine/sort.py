@@ -1,0 +1,85 @@
+"""Sort / top-N operators.
+
+TPC-H Q3 and Q10 end with ``ORDER BY revenue DESC LIMIT 10/20``; the
+coordinator applies :class:`TopNOperator` to the final aggregate.  The
+operator drains its child completely (sorting is a pipeline breaker),
+keeps a bounded heap per thread, merges at a barrier, and emits the
+globally best rows from thread 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.operator import Operator, OpState
+from repro.sim import Barrier
+
+__all__ = ["TopNOperator"]
+
+#: per-tuple heap maintenance cost.
+TOPN_NS_PER_TUPLE = 6.0
+
+
+class TopNOperator(Operator):
+    """``ORDER BY key [DESC] LIMIT n`` over the child's output."""
+
+    def __init__(self, node, child: Operator, key_column: str, limit: int,
+                 num_threads: int, descending: bool = True):
+        super().__init__(node, child)
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.key_column = key_column
+        self.limit = limit
+        self.descending = descending
+        self.num_threads = num_threads
+        self._partials: List[List[Tuple[float, int, np.ndarray]]] = [
+            [] for _ in range(num_threads)
+        ]
+        self._barrier = Barrier(node.sim, num_threads)
+        self._done = [False] * num_threads
+        self._tiebreak = 0
+
+    def _push(self, heap, key: float, row) -> None:
+        # heapq is a min-heap: for descending order the smallest of the
+        # kept keys sits on top and is evicted first.
+        entry_key = key if self.descending else -key
+        self._tiebreak += 1
+        if len(heap) < self.limit:
+            heapq.heappush(heap, (entry_key, self._tiebreak, row))
+        elif entry_key > heap[0][0]:
+            heapq.heapreplace(heap, (entry_key, self._tiebreak, row))
+
+    def next(self, tid: int):
+        if self._done[tid]:
+            return (OpState.DEPLETED, None)
+            yield  # pragma: no cover
+        heap = self._partials[tid]
+        while True:
+            state, batch = yield from self.child.next(tid)
+            if batch is not None and len(batch):
+                yield self.per_tuple_cost(len(batch),
+                                          ns_per_tuple=TOPN_NS_PER_TUPLE)
+                keys = batch[self.key_column]
+                for i in range(len(batch)):
+                    self._push(heap, float(keys[i]), batch[i])
+            if state == OpState.DEPLETED:
+                break
+        yield self._barrier.arrive()
+        self._done[tid] = True
+        if tid != 0:
+            return (OpState.DEPLETED, None)
+        return (OpState.DEPLETED, self._merge())
+
+    def _merge(self) -> Optional[np.ndarray]:
+        entries = [e for heap in self._partials for e in heap]
+        if not entries:
+            return None
+        entries.sort(key=lambda e: e[0], reverse=True)
+        rows = [e[2] for e in entries[:self.limit]]
+        out = np.empty(len(rows), dtype=rows[0].dtype)
+        for i, row in enumerate(rows):
+            out[i] = row
+        return out

@@ -1,0 +1,34 @@
+"""Simulated InfiniBand fabric.
+
+This package models the hardware substrate the paper's evaluation ran on:
+
+* :mod:`repro.fabric.config` — calibrated constants for the two clusters
+  (56 Gbps FDR and 100 Gbps EDR InfiniBand) and the CPU cost model.
+* :mod:`repro.fabric.nic` — the network adapter: egress/ingress
+  serialization, a per-work-request processing engine, and the LRU Queue
+  Pair context cache whose misses reproduce the "too many QPs" effect.
+* :mod:`repro.fabric.network` — nodes and the switched fabric connecting
+  them, including UD out-of-order jitter and optional loss injection.
+"""
+
+from repro.fabric.config import (
+    EDR,
+    FDR,
+    ClusterConfig,
+    NetworkConfig,
+)
+from repro.fabric.network import Fabric, Node
+from repro.fabric.nic import NIC, QPContextCache
+from repro.fabric.packet import Packet
+
+__all__ = [
+    "EDR",
+    "FDR",
+    "ClusterConfig",
+    "Fabric",
+    "NIC",
+    "NetworkConfig",
+    "Node",
+    "Packet",
+    "QPContextCache",
+]

@@ -1,0 +1,200 @@
+"""Nodes and the switched fabric connecting them.
+
+The topology mirrors the paper's clusters: every node has one adapter
+plugged into a full-bisection switch, so contention only occurs at the
+sender's egress port and the receiver's ingress port.  The fabric is
+lossless under congestion (InfiniBand link-level flow control) but — for
+the Unreliable Datagram service — may deliver messages out of order, which
+is modeled with a bounded random forwarding jitter.  Loss injection (bit
+errors, §4.4.2) is available for failure testing and defaults to off.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.fabric.config import ClusterConfig, NetworkConfig
+from repro.fabric.nic import NIC
+from repro.fabric.packet import Packet
+from repro.sim import Event, Simulator
+
+__all__ = ["Node", "Fabric"]
+
+
+class Node:
+    """One cluster machine: an adapter plus CPU cost helpers."""
+
+    def __init__(self, sim: Simulator, node_id: int, config: NetworkConfig):
+        self.sim = sim
+        self.id = node_id
+        self.config = config
+        self.nic = NIC(sim, node_id, config)
+
+    def cpu_delay(self, ns: float) -> Event:
+        """A timeout scaled by this node's CPU speed."""
+        return self.sim.timeout(self.config.cpu(ns))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} ({self.config.name})>"
+
+
+class Fabric:
+    """The switched network connecting all nodes of a cluster."""
+
+    def __init__(self, sim: Simulator, cluster: ClusterConfig):
+        self.sim = sim
+        self.cluster = cluster
+        self.config = cluster.network
+        self.nodes: List[Node] = [
+            Node(sim, i, cluster.network) for i in range(cluster.num_nodes)
+        ]
+        self._rng = random.Random(cluster.seed)
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+        #: verbs contexts register themselves here (node_id -> VerbsContext)
+        #: so Queue Pairs can resolve their peers.
+        self.verbs_contexts: dict = {}
+        #: InfiniBand multicast groups: mgid -> set of (node_id, qpn)
+        #: attached UD QPs.  The switch replicates a single sender packet
+        #: to every member, so the sender's port is charged only once.
+        self.mcast_members: dict = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def route(self, packet: Packet, unordered: bool = False,
+              lossy: bool = False,
+              egress_event: Optional[Event] = None) -> Event:
+        """Carry ``packet`` from source to destination.
+
+        Returns an event that fires with the packet once it has fully
+        arrived at the destination NIC (or, for a dropped packet, once the
+        fabric has discarded it; ``packet.dropped`` is then True).
+
+        ``unordered`` adds random forwarding jitter so that messages can
+        overtake each other — the Unreliable Datagram behaviour.
+        ``lossy`` enables loss injection at the configured probability.
+        ``egress_event``, if given, fires once the packet has fully left
+        the sender's NIC (the point at which an unacknowledged transport
+        considers the send complete).
+        """
+        if packet.src_node == packet.dst_node:
+            return self._route_loopback(packet, egress_event)
+        done = Event(self.sim)
+        self.sim.process(
+            self._route_proc(packet, unordered, lossy, done, egress_event),
+            name=f"route-{packet.kind}-{packet.src_node}->{packet.dst_node}",
+        )
+        return done
+
+    def mcast_attach(self, mgid: int, node_id: int, qpn: int) -> None:
+        """Attach a UD QP to a multicast group."""
+        self.mcast_members.setdefault(mgid, set()).add((node_id, qpn))
+
+    def mcast_detach(self, mgid: int, node_id: int, qpn: int) -> None:
+        self.mcast_members.get(mgid, set()).discard((node_id, qpn))
+
+    def route_mcast(self, packet: Packet, mgid: int,
+                    egress_event: Optional[Event] = None) -> Event:
+        """Replicate one datagram to every group member via the switch.
+
+        The sender's egress port serializes the packet *once*; the switch
+        fans it out, and each member's ingress port is charged
+        individually.  Returns an event firing with the list of per-member
+        delivery events.  The sender, if attached, does not hear its own
+        packet (IB loopback suppression is the common HCA default).
+        """
+        members = [
+            m for m in self.mcast_members.get(mgid, ())
+            if m[0] != packet.src_node
+        ]
+        done = Event(self.sim)
+
+        def proc():
+            src = self.nodes[packet.src_node]
+            yield src.nic.transmit(packet.wire_bytes)
+            if egress_event is not None:
+                egress_event.succeed(packet)
+            deliveries = []
+            for node_id, qpn in members:
+                deliveries.append(self._mcast_leg(packet, node_id, qpn))
+            done.succeed(deliveries)
+
+        self.sim.process(proc(), name=f"route-mcast-{mgid}")
+        return done
+
+    def _mcast_leg(self, packet: Packet, node_id: int, qpn: int) -> Event:
+        """One member's copy: switch hop (+jitter), then its ingress."""
+        leg = Event(self.sim)
+        copy = Packet(
+            src_node=packet.src_node, dst_node=node_id,
+            src_qpn=packet.src_qpn, dst_qpn=qpn, kind=packet.kind,
+            length=packet.length, wire_bytes=packet.wire_bytes,
+            payload=packet.payload, meta=packet.meta,
+        )
+
+        def proc():
+            latency = self.config.switch_latency_ns
+            if self.config.ud_jitter_ns:
+                latency += self._rng.randrange(self.config.ud_jitter_ns)
+            yield self.sim.timeout(latency)
+            if self.config.ud_loss_probability > 0:
+                if self._rng.random() < self.config.ud_loss_probability:
+                    copy.dropped = True
+                    self.dropped_messages += 1
+                    leg.succeed(copy)
+                    return
+            yield self.nodes[node_id].nic.receive(copy.wire_bytes, qpn)
+            self.delivered_messages += 1
+            leg.succeed(copy)
+
+        self.sim.process(proc(), name="mcast-leg")
+        return leg
+
+    def _route_loopback(self, packet: Packet,
+                        egress_event: Optional[Event]) -> Event:
+        """Local delivery: loops through the HCA, skipping the switch.
+
+        RDMA to one's own node still traverses the adapter (PCIe DMA out
+        and back in), so both port pipes are charged; only the switch hop
+        and loss/jitter are skipped.
+        """
+        done = Event(self.sim)
+        node = self.nodes[packet.src_node]
+
+        def proc():
+            yield node.nic.transmit(packet.wire_bytes)
+            if egress_event is not None:
+                egress_event.succeed(packet)
+            yield node.nic.receive(packet.wire_bytes, packet.dst_qpn)
+            self.delivered_messages += 1
+            done.succeed(packet)
+
+        self.sim.process(proc(), name="route-loopback")
+        return done
+
+    def _route_proc(self, packet: Packet, unordered: bool, lossy: bool,
+                    done: Event, egress_event: Optional[Event]):
+        src = self.nodes[packet.src_node]
+        dst = self.nodes[packet.dst_node]
+        yield src.nic.transmit(packet.wire_bytes)
+        if egress_event is not None:
+            egress_event.succeed(packet)
+        latency = self.config.switch_latency_ns
+        if unordered and self.config.ud_jitter_ns:
+            latency += self._rng.randrange(self.config.ud_jitter_ns)
+        yield self.sim.timeout(latency)
+        if lossy and self.config.ud_loss_probability > 0:
+            if self._rng.random() < self.config.ud_loss_probability:
+                packet.dropped = True
+                self.dropped_messages += 1
+                done.succeed(packet)
+                return
+        yield dst.nic.receive(packet.wire_bytes, packet.dst_qpn)
+        self.delivered_messages += 1
+        done.succeed(packet)

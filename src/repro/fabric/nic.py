@@ -1,0 +1,123 @@
+"""The simulated network adapter.
+
+A NIC has three serialized resources:
+
+* an **egress pipe** draining outbound bytes at the link rate,
+* an **ingress pipe** draining inbound bytes at the link rate,
+* a **processing engine** that executes work requests (doorbell handling,
+  WQE fetch, DMA setup) one at a time.
+
+It also owns the **Queue Pair context cache**: Mellanox NICs keep QP state
+in a small on-chip cache backed by host memory over PCIe; touching a QP
+that fell out of the cache stalls the processing engine for a PCIe round
+trip.  This is the documented mechanism ([8, 16, 17] in the paper) behind
+the degradation of the many-Queue-Pair designs on FDR hardware at 16 nodes
+(Figs 10 and 11), so it is modeled explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.sim import Event, RatePipe, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric.config import NetworkConfig
+
+__all__ = ["QPContextCache", "NIC"]
+
+
+class QPContextCache:
+    """LRU cache of Queue Pair contexts held on the NIC.
+
+    ``touch`` records an access and reports whether it hit.  The miss
+    penalty is charged by the NIC's processing engine, not here, so the
+    cache itself stays a pure bookkeeping structure that tests can probe.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, qpn: int) -> bool:
+        """Access QP ``qpn``; returns True on hit, False on miss."""
+        if qpn in self._entries:
+            self._entries.move_to_end(qpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[qpn] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def evict(self, qpn: int) -> None:
+        """Drop a QP context (e.g. when the QP is destroyed)."""
+        self._entries.pop(qpn, None)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class NIC:
+    """One node's network adapter."""
+
+    def __init__(self, sim: Simulator, node_id: int, config: "NetworkConfig",
+                 disable_qp_cache: bool = False):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.egress = RatePipe(sim, config.link_bytes_per_ns, f"egress[{node_id}]")
+        self.ingress = RatePipe(sim, config.link_bytes_per_ns, f"ingress[{node_id}]")
+        # The processing engine is a unit-rate pipe used via occupy():
+        # each work element holds it for its processing time.
+        self.processor = RatePipe(sim, 1.0, f"nicproc[{node_id}]")
+        self.qp_cache = QPContextCache(config.qp_cache_entries)
+        #: set True to model an adapter with effectively unlimited context
+        #: cache (used by the QP-cache ablation benchmark).
+        self.disable_qp_cache = disable_qp_cache
+        self.tx_messages = 0
+        self.rx_messages = 0
+
+    def _qp_touch_penalty(self, qpn: int) -> int:
+        if self.disable_qp_cache:
+            return 0
+        if self.qp_cache.touch(qpn):
+            return 0
+        return self.config.qp_cache_miss_ns
+
+    def process_wr(self, qpn: int, extra_ns: int = 0) -> Event:
+        """Occupy the processing engine for one work request on ``qpn``.
+
+        Returns the event fired when the NIC has finished processing (the
+        point at which the message starts serializing onto the wire).
+        """
+        penalty = self._qp_touch_penalty(qpn)
+        return self.processor.occupy(self.config.nic_wr_ns + penalty + extra_ns)
+
+    def transmit(self, wire_bytes: int) -> Event:
+        """Serialize ``wire_bytes`` onto the outbound link."""
+        self.tx_messages += 1
+        return self.egress.transmit(wire_bytes)
+
+    def receive(self, wire_bytes: int, qpn: int) -> Event:
+        """Serialize ``wire_bytes`` off the inbound link into ``qpn``.
+
+        The receive path also touches the destination QP context, so a
+        node being bombarded across many cold QPs slows down symmetrically
+        with the send path.
+        """
+        self.rx_messages += 1
+        penalty = self._qp_touch_penalty(qpn)
+        return self.ingress.transmit(wire_bytes, extra_ns=penalty)

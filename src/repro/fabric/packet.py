@@ -1,0 +1,44 @@
+"""Wire-level message descriptor exchanged between simulated NICs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """One message travelling through the fabric.
+
+    A packet is a *message* at the granularity the verbs layer deals in
+    (one work request's worth of data); MTU segmentation is folded into
+    the wire-byte count rather than simulated packet by packet.
+    """
+
+    src_node: int
+    dst_node: int
+    src_qpn: int
+    dst_qpn: int
+    #: verb kind: "SEND", "READ_REQ", "READ_RESP", "WRITE", "ACK"
+    kind: str
+    #: payload size in bytes (excluding headers).
+    length: int
+    #: total bytes on the wire including per-packet headers.
+    wire_bytes: int
+    #: opaque payload reference (a Buffer's content, or control words).
+    payload: Any = None
+    #: extra verb-specific fields (remote addr, wr ids, immediate data).
+    meta: dict = field(default_factory=dict)
+    #: set True by the fabric when loss injection dropped this packet.
+    dropped: bool = False
+
+    def __post_init__(self):
+        if self.length < 0:
+            raise ValueError(f"negative packet length: {self.length}")
+        if self.wire_bytes < self.length:
+            raise ValueError(
+                f"wire bytes ({self.wire_bytes}) smaller than payload "
+                f"({self.length})"
+            )

@@ -1,0 +1,5 @@
+"""RDMA buffer management: registered transmission buffers and pools."""
+
+from repro.memory.buffer import Buffer, BufferPool
+
+__all__ = ["Buffer", "BufferPool"]

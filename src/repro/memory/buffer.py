@@ -1,0 +1,94 @@
+"""Registered transmission buffers.
+
+Endpoints own and register the memory used for RDMA operations (§4.2).
+A :class:`BufferPool` registers one contiguous memory region and carves it
+into fixed-size :class:`Buffer` slots — exactly how the C++ implementation
+lays out its transmission buffers, and what makes the registered-memory
+accounting of Fig 9(b) meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.verbs.device import VerbsContext
+from repro.verbs.memory import MemoryRegion
+
+__all__ = ["Buffer", "BufferPool"]
+
+
+class Buffer:
+    """One RDMA-registered transmission buffer.
+
+    ``payload`` is the opaque stand-in for the buffer's bytes (a tuple
+    batch, a byte count descriptor...).  Filling the buffer also publishes
+    the payload at the buffer's address in the owning memory region, so a
+    remote RDMA Read of this address observes it — mirroring how real
+    one-sided reads see whatever currently sits in registered memory.
+    """
+
+    __slots__ = ("mr", "addr", "capacity", "payload", "length", "meta")
+
+    def __init__(self, mr: MemoryRegion, addr: int, capacity: int):
+        self.mr = mr
+        self.addr = addr
+        self.capacity = capacity
+        self.payload: Any = None
+        self.length = 0
+        self.meta: Dict[str, Any] = {}
+
+    def fill(self, payload: Any, length: int) -> None:
+        """Place ``length`` bytes of payload into the buffer."""
+        if length > self.capacity:
+            raise ValueError(
+                f"payload of {length} B exceeds buffer capacity "
+                f"{self.capacity}"
+            )
+        if length < 0:
+            raise ValueError(f"negative payload length: {length}")
+        self.payload = payload
+        self.length = length
+        self.mr.set_object(self.addr, payload)
+
+    def reset(self) -> None:
+        """Clear the buffer for reuse."""
+        self.payload = None
+        self.length = 0
+        self.meta.clear()
+        self.mr.set_object(self.addr, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Buffer @{self.addr:#x} {self.length}/{self.capacity}B>"
+
+
+class BufferPool:
+    """A set of equal-size buffers carved from one registered region."""
+
+    def __init__(self, ctx: VerbsContext, count: int, size: int):
+        if count < 1:
+            raise ValueError(f"buffer count must be >= 1, got {count}")
+        if size < 1:
+            raise ValueError(f"buffer size must be >= 1, got {size}")
+        self.ctx = ctx
+        self.size = size
+        self.mr = ctx.reg_mr(count * size)
+        self.buffers: List[Buffer] = [
+            Buffer(self.mr, self.mr.addr + i * size, size) for i in range(count)
+        ]
+        self._by_addr = {buf.addr: buf for buf in self.buffers}
+
+    def __len__(self) -> int:
+        return len(self.buffers)
+
+    def at(self, addr: int) -> Buffer:
+        """Resolve a buffer by its registered address."""
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise ValueError(
+                f"address {addr:#x} is not a buffer start in this pool"
+            ) from None
+
+    def release_memory(self) -> None:
+        """Deregister the backing region (end-of-query teardown)."""
+        self.ctx.dereg_mr(self.mr)

@@ -1,0 +1,375 @@
+"""Core discrete-event simulation kernel.
+
+Time is an integer number of simulated nanoseconds.  The design follows the
+classic event-loop model: a priority queue of ``(time, sequence, event)``
+entries is drained in order, and each event runs its callbacks when popped.
+Processes are generators; yielding an :class:`Event` suspends the process
+until the event fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0  # not triggered yet
+_TRIGGERED = 1  # queued, callbacks will run when popped
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events move through three states: pending, triggered (scheduled on the
+    event queue) and processed (callbacks executed).  Waiting on an already
+    processed event resumes the waiter immediately (at the current simulated
+    time) rather than blocking forever.
+    """
+
+    __slots__ = ("sim", "_state", "_ok", "_value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (not failed)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully, firing after ``delay`` ns."""
+        if self._state != _PENDING:
+            raise SimError(f"{self!r} has already been triggered")
+        self._state = _TRIGGERED
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with a failure; waiters get ``exc`` thrown."""
+        if self._state != _PENDING:
+            raise SimError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._ok = False
+        self._value = exc
+        self.sim._enqueue(delay, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already been processed, the callback is scheduled
+        to run immediately (at the current simulated time).
+        """
+        if self._state == _PROCESSED:
+            self.sim.call_at(self.sim.now, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._state = _TRIGGERED
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class Process(Event):
+    """A running generator; doubles as the event fired at termination.
+
+    The process resumes each time the event it yielded fires.  A failed
+    event is thrown into the generator; an uncaught exception fails the
+    process event, and escapes to :meth:`Simulator.run` if nothing waits on
+    the process.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_observed", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._observed = False
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimError(f"cannot interrupt finished process {self.name!r}")
+        poker = Event(self.sim)
+        poker.add_callback(self._resume)
+        poker.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # The process already ended (e.g. interrupted); stale wakeup.
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # An interrupt arrived while waiting; the original event may
+            # still fire later, and must then be ignored.
+            if isinstance(event.value, Interrupt):
+                self._waiting_on = None
+            else:
+                return
+        else:
+            self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+            self._generator.throw(exc)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        self._observed = True
+        super().add_callback(callback)
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        super().fail(exc, delay)
+        self.sim._defunct.append(self)
+        return self
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of the given events fires.
+
+    The value is the ``(event, value)`` pair of the first event.  A failing
+    child event fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed((event, event.value))
+        else:
+            self.fail(event.value)
+
+
+class AllOf(_Condition):
+    """Fires when every given event has fired; value is the value list."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed([e.value for e in self._events])
+
+
+class Simulator:
+    """The event loop: owns the clock and runs events in timestamp order."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List = []
+        self._sequence = 0
+        self._defunct: List[Process] = []
+
+    # -- scheduling ------------------------------------------------------
+
+    def _enqueue(self, delay: int, event: Event) -> None:
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + int(delay), self._sequence, event))
+
+    def call_at(self, when: int, func: Callable[[], None]) -> Event:
+        """Run ``func()`` at absolute simulated time ``when``."""
+        event = Event(self)
+        event.add_callback(lambda _e: func())
+        event.succeed(delay=when - self.now)
+        return event
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event on the queue."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+        # Surface exceptions from processes nobody waits on, so bugs do not
+        # vanish silently.  A failed process stays on the defunct list until
+        # its own termination event has been processed; if no waiter
+        # consumed the failure by then, re-raise it here.
+        if self._defunct:
+            still_pending = []
+            for proc in self._defunct:
+                if proc._state != _PROCESSED:
+                    still_pending.append(proc)
+                elif not proc.ok and not proc._observed:
+                    self._defunct = still_pending
+                    raise proc.value
+            self._defunct = still_pending
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queue drains or ``until`` (exclusive).
+
+        Returns the simulated time at which the run stopped.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when >= until:
+                self.now = until
+                return self.now
+            self.step()
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run ``generator`` as a process to completion.
+
+        Returns the process return value; re-raises its exception on
+        failure.  Other already-scheduled activities keep running alongside.
+        """
+        proc = self.process(generator, name=name)
+        while self._heap and not proc.triggered:
+            self.step()
+        if not proc.triggered:
+            raise SimError(f"process {proc.name!r} deadlocked (event queue empty)")
+        # Drain the callback that marks the process processed.
+        while self._heap and not proc.processed:
+            self.step()
+        if not proc.ok:
+            raise proc.value
+        return proc.value

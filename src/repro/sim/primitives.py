@@ -1,0 +1,219 @@
+"""Blocking primitives built on the simulation kernel.
+
+These are the concurrency building blocks the fabric, verbs layer and
+shuffle endpoints are written against: FIFO queues, counting semaphores,
+mutexes, broadcast signals, and rate-limited pipes that model link
+serialization without per-packet events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.kernel import Event, SimError, Simulator
+
+__all__ = ["Queue", "Semaphore", "Mutex", "Notify", "Barrier", "RatePipe"]
+
+
+class Queue:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item.  Items are delivered in FIFO order to getters in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self):
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiter wakeup."""
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        if value < 0:
+            raise SimError(f"semaphore initial value must be >= 0, got {value}")
+        self.sim = sim
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a unit has been acquired."""
+        event = Event(self.sim)
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Acquire without blocking; returns True on success."""
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release one unit, waking the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Mutex(Semaphore):
+    """A binary semaphore with lock/unlock naming and hold-time helper."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, value=1)
+
+    def lock(self) -> Event:
+        return self.acquire()
+
+    def unlock(self) -> None:
+        self.release()
+
+    def critical_section(self, hold_ns: int):
+        """A process fragment: acquire, hold for ``hold_ns``, release.
+
+        Usage: ``yield from mutex.critical_section(250)``.  Models a short
+        serialized critical section such as posting to a shared Queue Pair.
+        """
+        yield self.acquire()
+        if hold_ns:
+            yield self.sim.timeout(hold_ns)
+        self.release()
+
+
+class Notify:
+    """A broadcast signal: ``wait()`` events all fire on ``notify_all()``.
+
+    Unlike :class:`Queue`, a notification wakes *every* current waiter and
+    carries an optional value.  Used for condition-variable style "state
+    changed, re-check your predicate" wakeups.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+
+class Barrier:
+    """A cyclic barrier for a fixed number of parties.
+
+    ``arrive()`` returns an event that fires once all parties of the
+    current generation have arrived; the barrier then resets for reuse.
+    """
+
+    def __init__(self, sim: Simulator, parties: int):
+        if parties < 1:
+            raise SimError(f"barrier needs >= 1 parties, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self._waiting: List[Event] = []
+
+    def arrive(self) -> Event:
+        event = Event(self.sim)
+        self._waiting.append(event)
+        if len(self._waiting) == self.parties:
+            waiting, self._waiting = self._waiting, []
+            for waiter in waiting:
+                waiter.succeed()
+        return event
+
+
+class RatePipe:
+    """A FIFO, rate-limited transmission resource.
+
+    Models a link (or a NIC processing engine) that serializes work at a
+    fixed rate without simulating individual packets: a transfer of ``n``
+    units begins when all previously submitted transfers have drained and
+    completes ``n / rate`` later.
+
+    Rates are expressed in units per nanosecond (e.g. bytes/ns, which is
+    numerically equal to GB/s).
+    """
+
+    def __init__(self, sim: Simulator, rate: float, name: str = ""):
+        if rate <= 0:
+            raise SimError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.rate = rate
+        self.name = name
+        self._busy_until: int = 0
+        self.total_units: float = 0.0
+
+    def transmit(self, units: float, extra_ns: int = 0) -> Event:
+        """Submit ``units`` of work; returns the completion event.
+
+        ``extra_ns`` adds fixed per-item overhead that also occupies the
+        pipe (e.g. per-work-request processing time).
+        """
+        if units < 0:
+            raise SimError(f"cannot transmit negative units: {units}")
+        start = max(self.sim.now, self._busy_until)
+        duration = int(units / self.rate) + int(extra_ns)
+        self._busy_until = start + duration
+        self.total_units += units
+        event = Event(self.sim)
+        event.succeed(delay=self._busy_until - self.sim.now)
+        return event
+
+    def occupy(self, duration_ns: int) -> Event:
+        """Occupy the pipe for a fixed duration (rate-independent work)."""
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + int(duration_ns)
+        event = Event(self.sim)
+        event.succeed(delay=self._busy_until - self.sim.now)
+        return event
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def utilization(self, since: int = 0) -> float:
+        """Approximate utilization: busy time over elapsed time."""
+        elapsed = max(1, self.sim.now - since)
+        return min(1.0, (self._busy_until - since) / elapsed)

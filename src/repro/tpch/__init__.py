@@ -1,0 +1,22 @@
+"""TPC-H: schema, deterministic data generator, and distributed queries.
+
+The evaluation (§5.2) runs TPC-H Q3, Q4 and Q10 with every table's tuples
+scattered to random nodes (NATION and REGION replicated), all unused
+columns pre-projected away, as a column store would.  This package
+provides:
+
+* :mod:`repro.tpch.schema` — pre-projected dtypes and dictionary
+  encodings for exactly the columns those queries touch;
+* :mod:`repro.tpch.datagen` — a deterministic generator following the
+  TPC-H cardinalities and value distributions relevant to Q3/Q4/Q10;
+* :mod:`repro.tpch.queries` — distributed query plans built on the
+  engine + shuffle operators, plus co-partitioned "local data" variants;
+* :mod:`repro.tpch.reference` — single-node numpy implementations used
+  to validate every distributed answer.
+"""
+
+from repro.tpch.datagen import TPCHData, generate
+from repro.tpch.queries import run_query
+from repro.tpch.reference import reference_answer
+
+__all__ = ["TPCHData", "generate", "reference_answer", "run_query"]

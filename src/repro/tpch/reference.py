@@ -1,0 +1,100 @@
+"""Single-node reference implementations of Q3, Q4 and Q10.
+
+Pure-numpy computations over the whole (unpartitioned) tables; the
+distributed plans in :mod:`repro.tpch.queries` must produce identical
+answers.  Results are dictionaries keyed by group, with float aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.tpch.datagen import TPCHData
+from repro.tpch.schema import MKT_SEGMENTS, RETURN_FLAGS, date_to_days
+
+__all__ = ["reference_answer", "Q3_PARAMS", "Q4_PARAMS", "Q10_PARAMS"]
+
+#: Q3: BUILDING segment, cutoff date 1995-03-15.
+Q3_PARAMS = {
+    "segment": MKT_SEGMENTS.index("BUILDING"),
+    "date": date_to_days(1995, 3, 15),
+}
+#: Q4: quarter starting 1993-07-01.
+Q4_PARAMS = {
+    "date_lo": date_to_days(1993, 7, 1),
+    "date_hi": date_to_days(1993, 10, 1),
+}
+#: Q10: quarter starting 1993-10-01, returned items only.
+Q10_PARAMS = {
+    "date_lo": date_to_days(1993, 10, 1),
+    "date_hi": date_to_days(1994, 1, 1),
+    "returnflag": RETURN_FLAGS.index("R"),
+}
+
+
+def _q4(data: TPCHData) -> Dict[int, float]:
+    orders = data.orders
+    lineitem = data.lineitem
+    omask = ((orders["o_orderdate"] >= Q4_PARAMS["date_lo"]) &
+             (orders["o_orderdate"] < Q4_PARAMS["date_hi"]))
+    late = lineitem[lineitem["l_commitdate"] < lineitem["l_receiptdate"]]
+    late_orders = np.unique(late["l_orderkey"])
+    sel = orders[omask]
+    exists = np.isin(sel["o_orderkey"], late_orders)
+    sel = sel[exists]
+    out: Dict[int, float] = {}
+    for prio in np.unique(sel["o_orderpriority"]):
+        out[int(prio)] = float(np.sum(sel["o_orderpriority"] == prio))
+    return out
+
+
+def _q3(data: TPCHData) -> Dict[Tuple[int, int, int], float]:
+    cust = data.customer
+    orders = data.orders
+    lineitem = data.lineitem
+    cust = cust[cust["c_mktsegment"] == Q3_PARAMS["segment"]]
+    orders = orders[orders["o_orderdate"] < Q3_PARAMS["date"]]
+    orders = orders[np.isin(orders["o_custkey"], cust["c_custkey"])]
+    li = lineitem[lineitem["l_shipdate"] > Q3_PARAMS["date"]]
+    li = li[np.isin(li["l_orderkey"], orders["o_orderkey"])]
+    odate = dict(zip(orders["o_orderkey"].tolist(),
+                     orders["o_orderdate"].tolist()))
+    out: Dict[Tuple[int, int, int], float] = {}
+    revenue = li["l_extendedprice"] * (1.0 - li["l_discount"])
+    for key, rev in zip(li["l_orderkey"].tolist(), revenue.tolist()):
+        group = (key, odate[key], 0)
+        out[group] = out.get(group, 0.0) + rev
+    return out
+
+
+def _q10(data: TPCHData) -> Dict[Tuple[int, int], float]:
+    cust = data.customer
+    orders = data.orders
+    lineitem = data.lineitem
+    omask = ((orders["o_orderdate"] >= Q10_PARAMS["date_lo"]) &
+             (orders["o_orderdate"] < Q10_PARAMS["date_hi"]))
+    orders = orders[omask]
+    li = lineitem[lineitem["l_returnflag"] == Q10_PARAMS["returnflag"]]
+    li = li[np.isin(li["l_orderkey"], orders["o_orderkey"])]
+    ocust = dict(zip(orders["o_orderkey"].tolist(),
+                     orders["o_custkey"].tolist()))
+    nation_of = dict(zip(cust["c_custkey"].tolist(),
+                         cust["c_nationkey"].tolist()))
+    revenue = li["l_extendedprice"] * (1.0 - li["l_discount"])
+    out: Dict[Tuple[int, int], float] = {}
+    for okey, rev in zip(li["l_orderkey"].tolist(), revenue.tolist()):
+        custkey = ocust[okey]
+        group = (custkey, int(nation_of[custkey]))
+        out[group] = out.get(group, 0.0) + rev
+    return out
+
+
+def reference_answer(query: str, data: TPCHData):
+    """Compute the reference answer for "Q3", "Q4" or "Q10"."""
+    impl = {"Q3": _q3, "Q4": _q4, "Q10": _q10}
+    try:
+        return impl[query](data)
+    except KeyError:
+        raise ValueError(f"unknown query {query!r}; pick Q3, Q4 or Q10") from None

@@ -1,0 +1,74 @@
+"""Pre-projected TPC-H schema (§5.2).
+
+Only the columns touched by Q3, Q4 and Q10 exist — the paper pre-projects
+all unused columns "as a column-store database would".  Dates are stored
+as integer day offsets from 1992-01-01; low-cardinality strings are
+dictionary-encoded to small integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CUSTOMER_DTYPE", "ORDERS_DTYPE", "LINEITEM_DTYPE", "NATION_DTYPE",
+    "MKT_SEGMENTS", "ORDER_PRIORITIES", "RETURN_FLAGS", "NATIONS",
+    "date_to_days", "DATE_EPOCH_DAYS",
+]
+
+#: day 0 == 1992-01-01; TPC-H dates span 1992-01-01 .. 1998-12-31.
+DATE_EPOCH_DAYS = 0
+_DAYS_PER_YEAR = 365.25
+
+
+def date_to_days(year: int, month: int, day: int) -> int:
+    """Approximate day offset from 1992-01-01 (month lengths averaged).
+
+    The generator uses the same mapping, so predicates are exact within
+    the simulation even though real calendars are not consulted.
+    """
+    return int((year - 1992) * _DAYS_PER_YEAR + (month - 1) * 30.4375
+               + (day - 1))
+
+
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                    "5-LOW"]
+RETURN_FLAGS = ["A", "N", "R"]
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+CUSTOMER_DTYPE = np.dtype([
+    ("c_custkey", np.int64),
+    ("c_mktsegment", np.int8),   # index into MKT_SEGMENTS
+    ("c_nationkey", np.int8),    # index into NATIONS
+    ("c_acctbal", np.float64),
+])
+
+ORDERS_DTYPE = np.dtype([
+    ("o_orderkey", np.int64),
+    ("o_custkey", np.int64),
+    ("o_orderdate", np.int32),     # days since 1992-01-01
+    ("o_orderpriority", np.int8),  # index into ORDER_PRIORITIES
+    ("o_shippriority", np.int32),  # always 0 in TPC-H
+])
+
+LINEITEM_DTYPE = np.dtype([
+    ("l_orderkey", np.int64),
+    ("l_extendedprice", np.float64),
+    ("l_discount", np.float64),
+    ("l_shipdate", np.int32),
+    ("l_commitdate", np.int32),
+    ("l_receiptdate", np.int32),
+    ("l_returnflag", np.int8),     # index into RETURN_FLAGS
+])
+
+NATION_DTYPE = np.dtype([
+    ("n_nationkey", np.int8),
+])

@@ -1,0 +1,49 @@
+"""A faithful InfiniBand verbs (``ibv_*``) layer over the simulated fabric.
+
+The shuffle endpoints in :mod:`repro.core` are written against this API the
+same way the paper's C++ implementation is written against libibverbs:
+
+* create Queue Pairs (:class:`QueuePair`) of type Reliable Connection or
+  Unreliable Datagram,
+* register memory (:class:`MemoryRegion`) with pinning costs accounted,
+* post Send / Receive / Read / Write work requests,
+* poll Completion Queues (:class:`CompletionQueue`) for completion events.
+
+Transport semantics follow §2.2 of the paper: RC is connected, reliable and
+ordered with hardware acks and messages up to 1 GiB; UD is connectionless,
+unordered, unacknowledged, silently drops Sends with no matching Receive,
+and caps messages at the 4 KiB MTU.
+"""
+
+from repro.verbs.constants import (
+    MAX_RC_MSG,
+    AddressHandle,
+    Opcode,
+    QPState,
+    QPType,
+    VerbsError,
+    WCStatus,
+)
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.device import VerbsContext
+from repro.verbs.memory import AddressSpace, MemoryRegion
+from repro.verbs.qp import QueuePair
+from repro.verbs.wr import RecvWR, SendWR
+
+__all__ = [
+    "MAX_RC_MSG",
+    "AddressHandle",
+    "AddressSpace",
+    "CompletionQueue",
+    "MemoryRegion",
+    "Opcode",
+    "QPState",
+    "QPType",
+    "QueuePair",
+    "RecvWR",
+    "SendWR",
+    "VerbsContext",
+    "VerbsError",
+    "WCStatus",
+    "WorkCompletion",
+]

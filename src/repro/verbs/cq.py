@@ -1,0 +1,89 @@
+"""Completion queues and work completions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.sim import Event, Queue, Simulator
+from repro.verbs.constants import Opcode, VerbsError, WCStatus
+
+__all__ = ["WorkCompletion", "CompletionQueue"]
+
+
+@dataclass
+class WorkCompletion:
+    """One completion entry (``ibv_wc``).
+
+    ``wr_id`` is the opaque value the application attached to the work
+    request — the endpoints use it to map completions back to buffers.
+    """
+
+    wr_id: Any
+    opcode: Opcode
+    status: WCStatus = WCStatus.SUCCESS
+    byte_len: int = 0
+    qpn: int = 0
+    #: source node/QP for incoming messages (UD receive reports these).
+    src_node: int = -1
+    src_qpn: int = -1
+    #: immediate data, if the sender attached any.
+    imm: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+
+class CompletionQueue:
+    """A completion queue shared by any number of Queue Pairs.
+
+    The paper associates all of an endpoint's QPs with a single CQ to
+    amortize polling (§4.4.1); this class supports that directly.  Two
+    consumption styles are offered:
+
+    * :meth:`poll` — the non-blocking ``ibv_poll_cq`` equivalent;
+    * :meth:`wait` — a blocking get used by simulation processes instead of
+      spinning (a real thread busy-polls; burning simulated events to model
+      an idle spin would add nothing but cost).
+    """
+
+    def __init__(self, sim: Simulator, depth: int = 4096):
+        if depth < 1:
+            raise VerbsError(f"CQ depth must be >= 1, got {depth}")
+        self.sim = sim
+        self.depth = depth
+        self._entries = Queue(sim)
+        self.pushed = 0
+        self.polled = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, wc: WorkCompletion) -> None:
+        """Deposit a completion (called by the simulated NIC)."""
+        if len(self._entries) >= self.depth:
+            # A real adapter raises a fatal async "CQ overrun" event.
+            raise VerbsError(f"CQ overrun (depth={self.depth})")
+        self.pushed += 1
+        self._entries.put(wc)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Non-blocking poll; returns up to ``max_entries`` completions."""
+        out: List[WorkCompletion] = []
+        while len(out) < max_entries:
+            ok, wc = self._entries.try_get()
+            if not ok:
+                break
+            out.append(wc)
+        self.polled += len(out)
+        return out
+
+    def wait(self) -> Event:
+        """An event firing with the next completion (blocking poll)."""
+        event = self._entries.get()
+        event.add_callback(lambda _e: self._count_polled())
+        return event
+
+    def _count_polled(self) -> None:
+        self.polled += 1

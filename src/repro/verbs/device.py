@@ -1,0 +1,118 @@
+"""Per-node verbs device context.
+
+One :class:`VerbsContext` exists per node — the equivalent of an opened
+``ibv_context`` plus its protection domain.  It creates Queue Pairs and
+Completion Queues, registers memory with pinning-time accounting, and
+resolves remote contexts for the transport state machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fabric.network import Fabric
+from repro.sim import Simulator
+from repro.verbs.constants import QPType, VerbsError
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.memory import AddressSpace, MemoryRegion
+from repro.verbs.qp import QueuePair
+
+__all__ = ["VerbsContext"]
+
+
+class VerbsContext:
+    """The verbs interface of one node's adapter."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node_id: int):
+        if node_id in fabric.verbs_contexts:
+            raise VerbsError(f"node {node_id} already has a verbs context")
+        self.sim = sim
+        self.fabric = fabric
+        self.node_id = node_id
+        self.node = fabric.node(node_id)
+        self.nic = self.node.nic
+        self.config = fabric.config
+        self.memory = AddressSpace(node_id)
+        self._qps: Dict[int, QueuePair] = {}
+        self._qpn_counter = 0
+        self.qps_created = 0
+        fabric.verbs_contexts[node_id] = self
+
+    # -- object creation ---------------------------------------------------
+
+    def _assign_qpn(self, qp: QueuePair) -> int:
+        # Node-unique QPNs offset by node id make cross-node logs readable.
+        self._qpn_counter += 1
+        qpn = self.node_id * 1_000_000 + self._qpn_counter
+        self._qps[qpn] = qp
+        self.qps_created += 1
+        return qpn
+
+    def create_cq(self, depth: int = 4096) -> CompletionQueue:
+        return CompletionQueue(self.sim, depth)
+
+    def create_qp(self, qp_type: QPType, send_cq: CompletionQueue,
+                  recv_cq: CompletionQueue, max_send_wr: int = 1024,
+                  max_recv_wr: int = 4096) -> QueuePair:
+        """``ibv_create_qp``.  Control-path time is charged by the caller
+        (see :mod:`repro.verbs.cm`), keeping this immediate for tests."""
+        return QueuePair(self, qp_type, send_cq, recv_cq,
+                         max_send_wr, max_recv_wr)
+
+    def qp(self, qpn: int) -> QueuePair:
+        try:
+            return self._qps[qpn]
+        except KeyError:
+            raise VerbsError(f"no QP {qpn} on node {self.node_id}") from None
+
+    def mcast_attach(self, mgid: int, qp: QueuePair) -> None:
+        """``ibv_attach_mcast``: join a UD QP to a multicast group."""
+        if qp.qp_type is not QPType.UD:
+            raise VerbsError("only UD QPs can join multicast groups")
+        self.fabric.mcast_attach(mgid, self.node_id, qp.qpn)
+
+    def mcast_detach(self, mgid: int, qp: QueuePair) -> None:
+        self.fabric.mcast_detach(mgid, self.node_id, qp.qpn)
+
+    def peer_context(self, node_id: int) -> "VerbsContext":
+        try:
+            return self.fabric.verbs_contexts[node_id]
+        except KeyError:
+            raise VerbsError(f"node {node_id} has no verbs context") from None
+
+    # -- memory registration -------------------------------------------------
+
+    def reg_mr(self, length: int) -> MemoryRegion:
+        """Register ``length`` bytes (immediate; no time charged)."""
+        return self.memory.register(length)
+
+    def reg_mr_timed(self, length: int):
+        """Process fragment: register memory, charging pin time.
+
+        Usage: ``mr = yield from ctx.reg_mr_timed(nbytes)``.
+        """
+        config = self.config
+        pages = max(1, -(-length // config.page_size))
+        yield self.sim.timeout(
+            config.mr_register_base_ns + pages * config.mr_register_ns_per_page
+        )
+        return self.memory.register(length)
+
+    def dereg_mr(self, mr: MemoryRegion) -> None:
+        self.memory.deregister(mr)
+
+    def dereg_mr_timed(self, mr: MemoryRegion):
+        """Process fragment: deregister memory, charging unpin time."""
+        pages = max(1, -(-mr.length // self.config.page_size))
+        yield self.sim.timeout(pages * self.config.mr_deregister_ns_per_page)
+        self.memory.deregister(mr)
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def registered_bytes(self) -> int:
+        return self.memory.registered_bytes
+
+    @property
+    def peak_registered_bytes(self) -> int:
+        return self.memory.peak_registered_bytes

@@ -1,0 +1,328 @@
+"""Queue Pairs: the RC and UD transport state machines.
+
+The semantics follow §2.2 of the paper:
+
+* **Reliable Connection** — connected one-to-one, reliable, ordered.
+  A Send that arrives before a Receive has been posted stalls the
+  connection (receiver-not-ready) until one is posted; the sender's
+  completion is generated only after the hardware ack returns.  Messages
+  up to 1 GiB; RDMA Read and Write supported.
+* **Unreliable Datagram** — connectionless; one QP talks to any other.
+  No acks: the send completion fires as soon as the local NIC has drained
+  the buffer.  Messages are capped at the MTU, may be delivered out of
+  order, a Send with no matching Receive at the destination is *silently
+  dropped*, and loss injection can discard packets in flight.
+
+All data movement costs flow through the NIC model (processing engine with
+the QP-context cache, egress/ingress serialization) so every design
+trade-off in the paper's Figure 2 is exercised by these code paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.fabric.packet import Packet
+from repro.sim import Event, Queue
+from repro.verbs.constants import (
+    MAX_RC_MSG,
+    AddressHandle,
+    Opcode,
+    QPState,
+    QPType,
+    VerbsError,
+    WCStatus,
+)
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.wr import RecvWR, SendWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.device import VerbsContext
+
+__all__ = ["QueuePair"]
+
+
+class QueuePair:
+    """One Queue Pair (send queue + receive queue)."""
+
+    def __init__(self, ctx: "VerbsContext", qp_type: QPType,
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue,
+                 max_send_wr: int = 1024, max_recv_wr: int = 4096):
+        config = ctx.config
+        if max_send_wr > config.max_qp_depth or max_recv_wr > config.max_qp_depth:
+            raise VerbsError(
+                f"queue depth exceeds hardware limit {config.max_qp_depth}"
+            )
+        self.ctx = ctx
+        self.qp_type = qp_type
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.qpn = ctx._assign_qpn(self)
+        self.state = QPState.INIT
+        self._peer: Optional[AddressHandle] = None
+        # RC receives queue up and Sends block on them (RNR); the FIFO
+        # getter order of Queue preserves in-order delivery.
+        self._rc_recvs = Queue(ctx.sim)
+        # UD receives are matched non-blocking; unmatched Sends drop.
+        self._ud_recvs: Deque[RecvWR] = deque()
+        self._recv_posted = 0
+        self._send_outstanding = 0
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.ud_drops = 0
+
+    # -- state transitions -------------------------------------------------
+
+    @property
+    def peer(self) -> Optional[AddressHandle]:
+        return self._peer
+
+    def connect(self, remote: AddressHandle) -> None:
+        """Transition an RC QP to ready-to-send, bound to ``remote``.
+
+        Timing for the out-of-band handshake is charged by the connection
+        manager (:mod:`repro.verbs.cm`), not here.
+        """
+        if self.qp_type is not QPType.RC:
+            raise VerbsError("connect() applies to Reliable Connection QPs only")
+        if self.state is not QPState.INIT:
+            raise VerbsError(f"cannot connect QP in state {self.state}")
+        self._peer = remote
+        self.state = QPState.RTS
+
+    def activate(self) -> None:
+        """Transition a UD QP to ready-to-send (no peer binding)."""
+        if self.qp_type is not QPType.UD:
+            raise VerbsError("activate() applies to Unreliable Datagram QPs only")
+        if self.state is not QPState.INIT:
+            raise VerbsError(f"cannot activate QP in state {self.state}")
+        self.state = QPState.RTS
+
+    # -- posting -------------------------------------------------------------
+
+    def post_recv(self, wr: RecvWR) -> None:
+        """``ibv_post_recv``: queue a receive buffer."""
+        if self.state not in (QPState.INIT, QPState.RTS):
+            raise VerbsError(f"cannot post receive in state {self.state}")
+        if self._recv_posted >= self.max_recv_wr:
+            raise VerbsError(
+                f"receive queue full (max_recv_wr={self.max_recv_wr})"
+            )
+        self._recv_posted += 1
+        self.recvs_posted += 1
+        if self.qp_type is QPType.RC:
+            self._rc_recvs.put(wr)
+        else:
+            self._ud_recvs.append(wr)
+
+    def post_send(self, wr: SendWR) -> None:
+        """``ibv_post_send``: enqueue a Send / Read / Write work request.
+
+        Returns immediately (the verb is asynchronous); completion is
+        reported through the send CQ if ``wr.signaled``.
+        """
+        if self.state is not QPState.RTS:
+            raise VerbsError(f"cannot post send in state {self.state}")
+        if self._send_outstanding >= self.max_send_wr:
+            raise VerbsError(f"send queue full (max_send_wr={self.max_send_wr})")
+        if self.qp_type is QPType.UD:
+            if wr.opcode is not Opcode.SEND:
+                raise VerbsError(
+                    "Unreliable Datagram supports only Send/Receive (§2.2.2)"
+                )
+            if wr.dest is None:
+                raise VerbsError("UD Send requires a destination address handle")
+            if wr.length > self.ctx.config.mtu:
+                raise VerbsError(
+                    f"UD message of {wr.length} B exceeds MTU "
+                    f"{self.ctx.config.mtu}"
+                )
+        else:
+            if self._peer is None:
+                raise VerbsError("RC QP is not connected")
+            if wr.length > MAX_RC_MSG:
+                raise VerbsError(f"RC message of {wr.length} B exceeds 1 GiB")
+        self._send_outstanding += 1
+        self.sends_posted += 1
+        if self.qp_type is QPType.RC:
+            handlers = {
+                Opcode.SEND: self._rc_send,
+                Opcode.READ: self._rc_read,
+                Opcode.WRITE: self._rc_write,
+            }
+            proc = handlers[wr.opcode](wr)
+        else:
+            proc = self._ud_send(wr)
+        self.ctx.sim.process(proc, name=f"qp{self.qpn}-{wr.opcode.value}")
+
+    # -- completion helpers ----------------------------------------------------
+
+    def _complete_send(self, wr: SendWR, byte_len: int) -> None:
+        self._send_outstanding -= 1
+        if wr.signaled:
+            self.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode, byte_len=byte_len,
+                qpn=self.qpn,
+            ))
+
+    def _deposit(self, rwr: RecvWR, packet: Packet) -> None:
+        """Copy an arriving message into the posted receive buffer."""
+        if rwr.length < packet.length:
+            raise VerbsError(
+                f"receive buffer of {rwr.length} B too small for "
+                f"{packet.length} B message"
+            )
+        if rwr.buffer is not None:
+            rwr.buffer.payload = packet.payload
+            rwr.buffer.length = packet.length
+        self.recv_cq.push(WorkCompletion(
+            wr_id=rwr.wr_id, opcode=Opcode.RECV, byte_len=packet.length,
+            qpn=self.qpn, src_node=packet.src_node, src_qpn=packet.src_qpn,
+            imm=packet.meta.get("imm"),
+        ))
+
+    # -- Reliable Connection data paths -----------------------------------------
+
+    def _rc_send(self, wr: SendWR):
+        config = self.ctx.config
+        nic = self.ctx.nic
+        yield nic.process_wr(self.qpn)
+        packet = Packet(
+            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
+            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="SEND",
+            length=wr.length,
+            wire_bytes=config.wire_bytes(wr.length, "RC"),
+            payload=None if wr.buffer is None else wr.buffer.payload,
+            meta={"imm": wr.imm},
+        )
+        packet = yield self.ctx.fabric.route(packet)
+        remote = self.ctx.peer_context(self._peer.node_id)
+        remote_qp = remote.qp(self._peer.qpn)
+        # Receiver-not-ready: stall until a Receive is posted.  (The
+        # paper's credit protocol exists precisely so this never happens.)
+        rwr = yield remote_qp._rc_recvs.get()
+        remote_qp._recv_posted -= 1
+        remote_qp._deposit(rwr, packet)
+        ack = Packet(
+            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="ACK",
+            length=0, wire_bytes=config.rc_ack_bytes,
+        )
+        yield self.ctx.fabric.route(ack)
+        self._complete_send(wr, wr.length)
+
+    def _rc_read(self, wr: SendWR):
+        config = self.ctx.config
+        yield self.ctx.nic.process_wr(self.qpn)
+        request = Packet(
+            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
+            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="READ_REQ",
+            length=0, wire_bytes=config.rc_header_bytes,
+        )
+        yield self.ctx.fabric.route(request)
+        # The remote CPU stays passive: the remote *NIC* serves the read.
+        remote = self.ctx.peer_context(self._peer.node_id)
+        yield remote.nic.process_wr(self._peer.qpn)
+        mr = remote.memory.resolve(wr.remote_addr)
+        response = Packet(
+            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="READ_RESP",
+            length=wr.length,
+            wire_bytes=config.wire_bytes(wr.length, "RC"),
+            payload=mr.get_object(wr.remote_addr),
+        )
+        response = yield self.ctx.fabric.route(response)
+        if wr.buffer is not None:
+            wr.buffer.payload = response.payload
+            wr.buffer.length = wr.length
+        self._complete_send(wr, wr.length)
+
+    def _rc_write(self, wr: SendWR):
+        config = self.ctx.config
+        # Inlined payloads skip the extra DMA fetch of the payload [16].
+        extra = 0 if wr.inline else config.nic_wr_ns
+        yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra)
+        packet = Packet(
+            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
+            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="WRITE",
+            length=max(wr.length, 8 if wr.value is not None else 0),
+            wire_bytes=config.wire_bytes(
+                max(wr.length, 8 if wr.value is not None else 0), "RC"),
+            payload=None if wr.buffer is None else wr.buffer.payload,
+        )
+        packet = yield self.ctx.fabric.route(packet)
+        remote = self.ctx.peer_context(self._peer.node_id)
+        mr = remote.memory.resolve(wr.remote_addr)
+        if wr.value is not None:
+            mr.write_u64(wr.remote_addr, wr.value)
+        else:
+            mr.set_object(wr.remote_addr, packet.payload)
+        ack = Packet(
+            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="ACK",
+            length=0, wire_bytes=config.rc_ack_bytes,
+        )
+        yield self.ctx.fabric.route(ack)
+        self._complete_send(wr, wr.length)
+
+    # -- Unreliable Datagram data path ---------------------------------------
+
+    def _ud_send(self, wr: SendWR):
+        from repro.verbs.constants import MCAST_NODE
+
+        config = self.ctx.config
+        yield self.ctx.nic.process_wr(self.qpn)
+        packet = Packet(
+            src_node=self.ctx.node_id, dst_node=max(wr.dest.node_id, 0),
+            src_qpn=self.qpn, dst_qpn=wr.dest.qpn, kind="SEND",
+            length=wr.length,
+            wire_bytes=config.wire_bytes(wr.length, "UD"),
+            payload=None if wr.buffer is None else wr.buffer.payload,
+            meta={"imm": wr.imm},
+        )
+        egress_done = Event(self.ctx.sim)
+        if wr.dest.node_id == MCAST_NODE:
+            # InfiniBand multicast: the switch replicates the datagram to
+            # every attached QP; the sender's port is charged only once.
+            fanout = self.ctx.fabric.route_mcast(
+                packet, mgid=wr.dest.qpn, egress_event=egress_done)
+            self.ctx.sim.process(
+                self._ud_mcast_deliver(fanout),
+                name=f"qp{self.qpn}-ud-mcast")
+        else:
+            arrival = self.ctx.fabric.route(
+                packet, unordered=True, lossy=True,
+                egress_event=egress_done)
+            self.ctx.sim.process(
+                self._ud_deliver(arrival), name=f"qp{self.qpn}-ud-deliver")
+        # No ack in UD: local completion once the NIC drained the buffer.
+        yield egress_done
+        self._complete_send(wr, wr.length)
+
+    def _ud_mcast_deliver(self, fanout: Event):
+        deliveries = yield fanout
+        for leg in deliveries:
+            self.ctx.sim.process(
+                self._ud_deliver(leg), name=f"qp{self.qpn}-ud-mcast-leg")
+
+    def _ud_deliver(self, arrival: Event):
+        packet = yield arrival
+        if packet.dropped:
+            return
+        remote = self.ctx.peer_context(packet.dst_node)
+        try:
+            remote_qp = remote.qp(packet.dst_qpn)
+        except VerbsError:
+            return  # destination QP vanished; datagram evaporates
+        if remote_qp.qp_type is not QPType.UD:
+            return
+        if not remote_qp._ud_recvs:
+            # No Receive posted: the datagram is silently dropped (§2.2.1).
+            remote_qp.ud_drops += 1
+            return
+        rwr = remote_qp._ud_recvs.popleft()
+        remote_qp._recv_posted -= 1
+        remote_qp._deposit(rwr, packet)

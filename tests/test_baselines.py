@@ -1,0 +1,125 @@
+"""Unit tests for the MPI, IPoIB and qperf baselines."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR, FDR
+from repro.baselines import run_qperf
+from repro.baselines.mpi import MPIRuntime
+from repro.bench.workloads import run_repartition
+
+MIB = 1 << 20
+
+
+class TestQperf:
+    def test_edr_peak_near_line_rate(self):
+        gib = run_qperf(EDR)
+        assert 10.5 < gib < 12.0  # paper: ~11.5 GiB/s
+
+    def test_fdr_peak_near_line_rate(self):
+        gib = run_qperf(FDR)
+        assert 5.2 < gib < 6.2  # paper: ~5.9 GiB/s
+
+    def test_tiny_messages_become_rate_bound(self):
+        # At 256 B the per-work-request NIC processing dominates the
+        # serialization time and throughput collapses.
+        assert run_qperf(EDR, message_size=256, messages=4096) < \
+            0.5 * run_qperf(EDR, message_size=65536)
+
+    def test_rejects_empty_run(self):
+        with pytest.raises(ValueError):
+            run_qperf(EDR, messages=0)
+
+
+class TestMPIRuntime:
+    def test_runtime_is_per_node_singleton(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        a = MPIRuntime.get(cluster.contexts[0])
+        b = MPIRuntime.get(cluster.contexts[0])
+        c = MPIRuntime.get(cluster.contexts[1])
+        assert a is b
+        assert a is not c
+
+    def test_eager_send_recv_roundtrip(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=1))
+        rt0 = MPIRuntime.get(cluster.contexts[0])
+        rt1 = MPIRuntime.get(cluster.contexts[1])
+
+        def sender():
+            yield from rt0.mpi_send(1, tag=7, payload="hello", length=64)
+
+        def receiver():
+            src, payload, length = yield from rt1.mpi_recv(tag=7)
+            return (src, payload, length)
+
+        cluster.sim.process(sender())
+        got = cluster.run_process(receiver())
+        assert got == (0, "hello", 64)
+
+    def test_rendezvous_waits_for_matching_recv(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=1))
+        rt0 = MPIRuntime.get(cluster.contexts[0])
+        rt1 = MPIRuntime.get(cluster.contexts[1])
+        big = 256 * 1024  # far beyond the eager threshold
+        send_done = {}
+
+        def sender():
+            yield from rt0.mpi_send(1, tag=3, payload="bulk", length=big)
+            send_done["at"] = cluster.sim.now
+
+        def receiver():
+            yield cluster.sim.timeout(200_000)  # receiver shows up late
+            src, payload, length = yield from rt1.mpi_recv(tag=3)
+            return length
+
+        cluster.sim.process(sender())
+        assert cluster.run_process(receiver()) == big
+        # The blocking send cannot complete before the receiver matched.
+        assert send_done["at"] >= 200_000
+
+    def test_progress_gated_on_mpi_calls(self):
+        """An arriving message is not matched while no thread is inside
+        the MPI library (the overlap-failure mechanism)."""
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=1))
+        rt1 = MPIRuntime.get(cluster.contexts[1])
+        assert rt1.in_mpi == 0
+        # Inject a wire-level arrival while nobody is in an MPI call: it
+        # must park in the backlog, not be processed.
+        from repro.fabric.packet import Packet
+        pkt = Packet(0, 1, 0, 0, "MPI_EAGER", 10, 64, payload="x",
+                     meta={"tag": 9})
+        rt1._on_wire(pkt)
+        assert len(rt1._backlog) == 1
+
+        def receiver():
+            src, payload, _len = yield from rt1.mpi_recv(tag=9)
+            return payload
+
+        assert cluster.run_process(receiver()) == "x"
+        assert len(rt1._backlog) == 0
+
+
+class TestBaselineShuffles:
+    def test_mpi_slower_than_rdma(self):
+        def thr(design):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+            return run_repartition(
+                cluster, design,
+                bytes_per_node=8 * MIB).receive_throughput_gib_per_node()
+
+        assert thr("MESQ/SR") > thr("MPI")
+
+    def test_ipoib_slowest(self):
+        def thr(design):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+            return run_repartition(
+                cluster, design,
+                bytes_per_node=6 * MIB).receive_throughput_gib_per_node()
+
+        ipoib = thr("IPoIB")
+        assert ipoib < thr("MPI")
+        # IPoIB is capped by the kernel stack, far below line rate.
+        assert ipoib < 0.5 * EDR.link_bytes_per_ns

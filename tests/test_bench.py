@@ -1,0 +1,128 @@
+"""Tests for the benchmark harness: workloads, report, experiments, CLI."""
+
+import json
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR
+from repro.bench.report import ExperimentResult, Series, render
+from repro.bench.workloads import (
+    ShuffleRunResult,
+    make_template_batch,
+    run_broadcast,
+    run_repartition,
+)
+from repro.bench.experiments import table1
+from repro.bench.cli import main as cli_main
+
+MIB = 1 << 20
+
+
+def small_cluster(nodes=2, threads=2):
+    return Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                 threads_per_node=threads))
+
+
+class TestWorkloads:
+    def test_template_batch_shape(self):
+        batch = make_template_batch(rows=128)
+        assert len(batch) == 128
+        assert batch.dtype.itemsize == 16  # two long integers (§5.1)
+
+    def test_repartition_moves_all_bytes(self):
+        cluster = small_cluster()
+        result = run_repartition(cluster, "SEMQ/SR", bytes_per_node=2 * MIB)
+        assert result.total_received_bytes == 2 * 2 * MIB
+        assert result.pattern == "repartition"
+        assert result.receive_throughput_gib_per_node() > 0
+
+    def test_broadcast_multiplies_bytes(self):
+        cluster = small_cluster(nodes=3)
+        result = run_broadcast(cluster, "SEMQ/SR", bytes_per_node=1 * MIB)
+        # each node's data reaches the other two nodes.
+        assert result.total_received_bytes == 3 * 2 * 1 * MIB
+        assert result.pattern == "broadcast"
+
+    def test_result_metrics(self):
+        result = ShuffleRunResult(
+            design="X", pattern="repartition", network="EDR", num_nodes=2,
+            threads=2, bytes_per_node=1, elapsed_ns=1_000_000_000,
+            setup_ns=0, total_received_bytes=2 << 30,
+            total_received_rows=10, registered_bytes_per_node=0,
+            qps_per_node=0, messages_sent=0, recv_data_wait_ns=0,
+            send_credit_wait_ns=0,
+        )
+        assert result.receive_throughput_gib_per_node() == 1.0
+        assert result.response_time_ms() == 1000.0
+        assert result.receiver_busy_fraction() == 1.0
+
+    def test_busy_fraction_counts_waits(self):
+        result = ShuffleRunResult(
+            design="X", pattern="repartition", network="EDR", num_nodes=1,
+            threads=2, bytes_per_node=1, elapsed_ns=100,
+            setup_ns=0, total_received_bytes=0, total_received_rows=0,
+            registered_bytes_per_node=0, qps_per_node=0, messages_sent=0,
+            recv_data_wait_ns=100, send_credit_wait_ns=0,
+        )
+        assert result.receiver_busy_fraction() == 0.5
+
+    def test_compute_lowers_throughput(self):
+        cluster = small_cluster()
+        fast = run_repartition(cluster, "SEMQ/SR", bytes_per_node=2 * MIB)
+        cluster = small_cluster()
+        slow = run_repartition(cluster, "SEMQ/SR", bytes_per_node=2 * MIB,
+                               compute_ns_per_batch=50_000)
+        assert (slow.receive_throughput_gib_per_node() <
+                fast.receive_throughput_gib_per_node())
+
+
+class TestReport:
+    def make_result(self):
+        return ExperimentResult(
+            experiment="figX", title="Demo", x_label="n", x=[1, 2],
+            y_label="GiB/s",
+            series=[Series("a", [1.5, 2.5]), Series("b", [3.0, 4.0])],
+            notes="hello",
+        )
+
+    def test_render_contains_everything(self):
+        text = render(self.make_result())
+        assert "figX" in text and "Demo" in text
+        assert "1.50" in text and "4.00" in text
+        assert "note: hello" in text
+
+    def test_series_lookup(self):
+        result = self.make_result()
+        assert result.series_by_label("a").y == [1.5, 2.5]
+        assert result.value("b", 2) == 4.0
+        with pytest.raises(KeyError):
+            result.series_by_label("nope")
+
+    def test_render_tolerates_missing_points(self):
+        result = ExperimentResult(
+            experiment="f", title="t", x_label="x", x=[1, 2],
+            y_label="y", series=[Series("s", [1.0])])
+        assert "-" in render(result)
+
+
+class TestExperiments:
+    def test_table1_values(self):
+        result = table1(nodes=16, threads=8)
+        assert result.value("QPs/op", "MEMQ/SR") == 128
+        assert result.value("QPs/op", "SESQ/SR") == 1
+
+    def test_cli_runs_table1(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        rc = cli_main(["table1", "--json", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Design alternatives" in captured.out
+        data = json.loads(out.read_text())
+        assert data[0]["experiment"] == "table1"
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figZZ"])
+
+    def test_cli_no_args_shows_help(self, capsys):
+        assert cli_main([]) == 2

@@ -1,0 +1,71 @@
+"""Unit tests for the design registry (Table 1)."""
+
+import pytest
+
+from repro.core import DESIGNS, design_properties
+from repro.core.designs import Design
+from repro.core.read_rc import ReadRCSendEndpoint
+from repro.core.sr_rc import SRRCSendEndpoint
+from repro.core.sr_ud import SRUDSendEndpoint
+
+
+class TestRegistry:
+    def test_six_designs_present(self):
+        assert set(DESIGNS) >= {
+            "MEMQ/RD", "SEMQ/RD", "MEMQ/SR", "SEMQ/SR", "MESQ/SR", "SESQ/SR",
+        }
+
+    def test_endpoint_classes(self):
+        assert DESIGNS["MESQ/SR"].send_cls is SRUDSendEndpoint
+        assert DESIGNS["MEMQ/SR"].send_cls is SRRCSendEndpoint
+        assert DESIGNS["MEMQ/RD"].send_cls is ReadRCSendEndpoint
+
+    def test_endpoint_counts(self):
+        assert DESIGNS["MESQ/SR"].num_endpoints(threads=8) == 8
+        assert DESIGNS["SESQ/SR"].num_endpoints(threads=8) == 1
+
+
+class TestTable1:
+    """The QPs-per-node column of Table 1 for n nodes, t threads."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("MEMQ/RD", 16 * 8),   # n*t
+        ("MEMQ/SR", 16 * 8),   # n*t
+        ("SEMQ/RD", 16),       # n
+        ("SEMQ/SR", 16),       # n
+        ("MESQ/SR", 8),        # t
+        ("SESQ/SR", 1),        # 1
+    ])
+    def test_qps_per_operator(self, name, expected):
+        assert DESIGNS[name].qps_per_operator(num_nodes=16, threads=8) == expected
+
+    def test_connection_labels(self):
+        labels = {name: d.connections_label for name, d in DESIGNS.items()
+                  if name in ("MEMQ/SR", "SEMQ/SR", "MESQ/SR", "SESQ/SR")}
+        assert labels == {
+            "MEMQ/SR": "n*t", "SEMQ/SR": "n", "MESQ/SR": "t", "SESQ/SR": "1",
+        }
+
+    def test_contention_column(self):
+        assert DESIGNS["SESQ/SR"].thread_contention == "Excessive"
+        assert DESIGNS["SEMQ/SR"].thread_contention == "Moderate"
+        assert DESIGNS["MESQ/SR"].thread_contention == "None"
+        assert DESIGNS["MEMQ/RD"].thread_contention == "None"
+
+    def test_messaging_and_transport(self):
+        assert "4 KiB" in DESIGNS["MESQ/SR"].messaging
+        assert "1 GiB" in DESIGNS["MEMQ/SR"].messaging
+        assert "software" in DESIGNS["SESQ/SR"].transport
+        assert "hardware" in DESIGNS["SEMQ/RD"].transport
+
+    def test_flow_control_column(self):
+        assert DESIGNS["MEMQ/RD"].flow_control.startswith("One-sided")
+        assert DESIGNS["MEMQ/SR"].flow_control.startswith("Two-sided")
+
+    def test_design_properties_rows(self):
+        rows = design_properties(num_nodes=16, threads=8)
+        assert len(rows) == 6
+        by_name = {row["design"]: row for row in rows}
+        assert by_name["MESQ/SR"]["qps_per_operator"] == 8
+        assert by_name["MEMQ/SR"]["resource_consumption"] == "Excessive"
+        assert by_name["SESQ/SR"]["resource_consumption"] == "Minimal"

@@ -1,0 +1,209 @@
+"""Unit tests for the simulated fabric (NIC, links, routing)."""
+
+import pytest
+
+from repro.fabric import EDR, FDR, ClusterConfig, Fabric, Packet, QPContextCache
+from repro.sim import Event, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_fabric(sim, nodes=2, network=EDR, **net_overrides):
+    cluster = ClusterConfig(network=network, num_nodes=nodes)
+    if net_overrides:
+        cluster = cluster.with_network(**net_overrides)
+    return Fabric(sim, cluster)
+
+
+class TestQPContextCache:
+    def test_first_touch_misses_then_hits(self):
+        cache = QPContextCache(4)
+        assert cache.touch(1) is False
+        assert cache.touch(1) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = QPContextCache(2)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)  # 1 most recent
+        cache.touch(3)  # evicts 2
+        assert cache.touch(1) is True
+        assert cache.touch(2) is False
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = QPContextCache(3)
+        for qpn in range(10):
+            cache.touch(qpn)
+        assert cache.occupancy == 3
+
+    def test_evict(self):
+        cache = QPContextCache(4)
+        cache.touch(5)
+        cache.evict(5)
+        assert cache.touch(5) is False
+
+    def test_miss_rate(self):
+        cache = QPContextCache(8)
+        cache.touch(1)
+        cache.touch(1)
+        assert cache.miss_rate == 0.5
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            QPContextCache(0)
+
+
+class TestPacket:
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 1, 2, "SEND", -1, 10)
+
+    def test_rejects_wire_smaller_than_payload(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 1, 2, "SEND", 100, 50)
+
+
+class TestWireBytes:
+    def test_ud_adds_header(self):
+        assert EDR.wire_bytes(4096, "UD") == 4096 + EDR.ud_header_bytes
+
+    def test_rc_segments_by_mtu(self):
+        # 64 KiB = 16 MTU packets, each with an RC header
+        assert EDR.wire_bytes(65536, "RC") == 65536 + 16 * EDR.rc_header_bytes
+
+    def test_rc_small_message_single_packet(self):
+        assert EDR.wire_bytes(100, "RC") == 100 + EDR.rc_header_bytes
+
+
+class TestRouting:
+    def test_delivery_latency_includes_serialization_and_switch(self, sim):
+        fabric = make_fabric(sim, network=EDR, ud_jitter_ns=0)
+        pkt = Packet(0, 1, 1, 2, "SEND", 65536, 65536)
+
+        def proc():
+            arrived = yield fabric.route(pkt)
+            return (sim.now, arrived)
+
+        t, arrived = sim.run_process(proc())
+        serialization = int(65536 / EDR.link_bytes_per_ns)
+        # egress + switch + ingress (+ QP-cache miss on first ingress touch)
+        expected = 2 * serialization + EDR.switch_latency_ns + EDR.qp_cache_miss_ns
+        assert t == expected
+        assert arrived is pkt and not pkt.dropped
+
+    def test_egress_event_fires_before_arrival(self, sim):
+        fabric = make_fabric(sim, ud_jitter_ns=0)
+        pkt = Packet(0, 1, 1, 2, "SEND", 4096, 4096)
+        times = {}
+
+        def proc():
+            egress = Event(sim)
+            egress.add_callback(lambda e: times.setdefault("egress", sim.now))
+            yield fabric.route(pkt, egress_event=egress)
+            times["arrival"] = sim.now
+
+        sim.run_process(proc())
+        assert times["egress"] < times["arrival"]
+
+    def test_sender_egress_serializes_concurrent_messages(self, sim):
+        fabric = make_fabric(sim, ud_jitter_ns=0)
+        done = []
+
+        def send(dst):
+            pkt = Packet(0, dst, 1, 2, "SEND", 65536, 65536)
+            yield fabric.route(pkt)
+            done.append(sim.now)
+
+        # Two messages to different destinations share node 0's egress port.
+        fabric2 = make_fabric(Simulator(), nodes=3)  # unused, shape check
+        fabric = make_fabric(sim, nodes=3, ud_jitter_ns=0)
+        sim.process(send(1))
+        sim.process(send(2))
+        sim.run()
+        serialization = int(65536 / EDR.link_bytes_per_ns)
+        # The second message could not start serializing until the first
+        # finished: arrivals at least one serialization apart.
+        assert done[1] - done[0] >= serialization
+
+    def test_loopback_charges_hca_but_not_switch(self, sim):
+        fabric = make_fabric(sim)
+        pkt = Packet(0, 0, 1, 2, "SEND", 1 << 20, 1 << 20)
+
+        def proc():
+            yield fabric.route(pkt)
+            return sim.now
+
+        t = sim.run_process(proc())
+        serialization = int((1 << 20) / EDR.link_bytes_per_ns)
+        # DMA out and back in through the adapter, but no switch hop.
+        assert t >= 2 * serialization
+        assert t < 2 * serialization + EDR.qp_cache_miss_ns + 100
+        assert t < 2 * serialization + EDR.switch_latency_ns + EDR.qp_cache_miss_ns
+
+    def test_loss_injection_drops_packets(self, sim):
+        fabric = make_fabric(sim, ud_loss_probability=1.0, ud_jitter_ns=0)
+        pkt = Packet(0, 1, 1, 2, "SEND", 100, 160)
+
+        def proc():
+            arrived = yield fabric.route(pkt, lossy=True)
+            return arrived
+
+        arrived = sim.run_process(proc())
+        assert arrived.dropped
+        assert fabric.dropped_messages == 1
+
+    def test_no_loss_when_not_lossy(self, sim):
+        fabric = make_fabric(sim, ud_loss_probability=1.0, ud_jitter_ns=0)
+        pkt = Packet(0, 1, 1, 2, "SEND", 100, 160)
+
+        def proc():
+            arrived = yield fabric.route(pkt, lossy=False)
+            return arrived
+
+        assert not sim.run_process(proc()).dropped
+
+    def test_unordered_jitter_reorders_messages(self):
+        # With jitter, some pair of back-to-back small messages must be
+        # reordered across enough trials.
+        sim = Simulator()
+        fabric = make_fabric(sim, ud_jitter_ns=5000)
+        arrivals = []
+
+        def send(seq):
+            pkt = Packet(0, 1, 1, 2, "SEND", 64, 124, meta={"seq": seq})
+            arrived = yield fabric.route(pkt, unordered=True)
+            arrivals.append(arrived.meta["seq"])
+
+        for seq in range(50):
+            sim.process(send(seq))
+        sim.run()
+        assert sorted(arrivals) == list(range(50))
+        assert arrivals != list(range(50)), "jitter should reorder someone"
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(network=EDR, num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(network=EDR, num_nodes=2, threads_per_node=-1)
+
+    def test_threads_default_to_cores(self):
+        cluster = ClusterConfig(network=FDR, num_nodes=2)
+        assert cluster.threads_per_node == FDR.cores_per_node
+
+
+class TestCpuScaling:
+    def test_fdr_cpu_slower_than_edr(self):
+        assert FDR.cpu(1000) > EDR.cpu(1000)
+
+    def test_node_cpu_delay(self, sim):
+        fabric = make_fabric(sim, network=FDR)
+
+        def proc():
+            yield fabric.node(0).cpu_delay(1000)
+            return sim.now
+
+        assert sim.run_process(proc()) == FDR.cpu(1000)

@@ -1,0 +1,281 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_succeed_fires_callbacks_with_value(self, sim):
+        seen = []
+        ev = sim.event()
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_succeed_twice_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimError):
+            ev.succeed()
+
+    def test_callback_on_processed_event_still_runs(self, sim):
+        ev = sim.event()
+        ev.succeed("late")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["late"]
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimError):
+            ev.fail("not an exception")
+
+    def test_delayed_succeed(self, sim):
+        ev = sim.event()
+        times = []
+        ev.add_callback(lambda e: times.append(sim.now))
+        ev.succeed(delay=500)
+        sim.run()
+        assert times == [500]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(100)
+            yield sim.timeout(250)
+            return sim.now
+
+        assert sim.run_process(proc()) == 350
+
+    def test_zero_timeout_allowed(self, sim):
+        def proc():
+            yield sim.timeout(0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.timeout(-1)
+
+    def test_timeout_carries_value(self, sim):
+        def proc():
+            got = yield sim.timeout(10, value="payload")
+            return got
+
+        assert sim.run_process(proc()) == "payload"
+
+
+class TestProcess:
+    def test_return_value_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_exception_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_process(proc())
+
+    def test_failed_event_thrown_into_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        ev.fail(RuntimeError("net error"))
+        assert sim.run_process(proc()) == "caught net error"
+
+    def test_process_is_waitable_event(self, sim):
+        def child():
+            yield sim.timeout(100)
+            return "child result"
+
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+
+        assert sim.run_process(parent()) == (100, "child result")
+
+    def test_yielding_non_event_is_error(self, sim):
+        def proc():
+            yield 42
+
+        with pytest.raises(SimError, match="must.*yield Event"):
+            sim.run_process(proc())
+
+    def test_unobserved_process_failure_raises_from_run(self, sim):
+        def proc():
+            yield sim.timeout(5)
+            raise KeyError("lost")
+
+        sim.process(proc())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_interleaving_is_deterministic(self, sim):
+        order = []
+
+        def proc(name, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                order.append((sim.now, name))
+
+        sim.process(proc("a", [10, 10]))
+        sim.process(proc("b", [5, 10]))
+        sim.run()
+        assert order == [(5, "b"), (10, "a"), (15, "b"), (20, "a")]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+
+        def proc(name):
+            yield sim.timeout(10)
+            order.append(name)
+
+        sim.process(proc("first"))
+        sim.process(proc("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self, sim):
+        forever = sim.event()
+
+        def proc():
+            try:
+                yield forever
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        p = sim.process(proc())
+        sim.call_at(77, lambda: p.interrupt("deadline"))
+        assert sim.run_process(p_wait(sim, p)) == ("interrupted", "deadline", 77)
+
+    def test_interrupting_finished_process_raises(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        sim.run()
+        with pytest.raises(SimError):
+            p.interrupt()
+
+    def test_stale_event_after_interrupt_is_ignored(self, sim):
+        slow = sim.timeout(1000)
+
+        def proc():
+            try:
+                yield slow
+                return "slow won"
+            except Interrupt:
+                yield sim.timeout(2000)
+                return "resumed after interrupt"
+
+        p = sim.process(proc())
+        sim.call_at(10, lambda: p.interrupt())
+        sim.run()
+        assert p.value == "resumed after interrupt"
+
+
+def p_wait(sim, proc):
+    """Helper process: wait for proc and return its value."""
+    result = yield proc
+    return result
+
+
+class TestConditions:
+    def test_any_of_returns_first(self, sim):
+        def proc():
+            fast = sim.timeout(10, value="fast")
+            slow = sim.timeout(100, value="slow")
+            event, value = yield AnyOf(sim, [fast, slow])
+            return (sim.now, value)
+
+        assert sim.run_process(proc()) == (10, "fast")
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            values = yield AllOf(
+                sim, [sim.timeout(10, "a"), sim.timeout(30, "b"), sim.timeout(20, "c")]
+            )
+            return (sim.now, values)
+
+        assert sim.run_process(proc()) == (30, ["a", "b", "c"])
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        def proc():
+            values = yield AllOf(sim, [])
+            return values
+
+        assert sim.run_process(proc()) == []
+
+    def test_any_of_failure_propagates(self, sim):
+        bad = sim.event()
+
+        def proc():
+            yield AnyOf(sim, [sim.timeout(100), bad])
+
+        bad.fail(OSError("link down"))
+        with pytest.raises(OSError):
+            sim.run_process(proc())
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock(self, sim):
+        ticks = []
+
+        def proc():
+            while True:
+                yield sim.timeout(10)
+                ticks.append(sim.now)
+
+        sim.process(proc())
+        assert sim.run(until=35) == 35
+        assert ticks == [10, 20, 30]
+
+    def test_run_returns_final_time(self, sim):
+        def proc():
+            yield sim.timeout(123)
+
+        sim.process(proc())
+        assert sim.run() == 123
+
+    def test_run_process_detects_deadlock(self, sim):
+        def proc():
+            yield sim.event()  # nobody ever triggers this
+
+        with pytest.raises(SimError, match="deadlock"):
+            sim.run_process(proc())
+
+    def test_call_at(self, sim):
+        fired = []
+        sim.call_at(42, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [42]

@@ -1,0 +1,69 @@
+"""Tests for the TopN operator."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR
+from repro.engine import CollectSink, QueryFragment, ScanOperator, run_fragments
+from repro.engine.sort import TopNOperator
+
+DTYPE = np.dtype([("k", np.int64), ("score", np.float64)])
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterConfig(network=EDR, num_nodes=1,
+                                 threads_per_node=2))
+
+
+def run_topn(cluster, table, limit, descending=True, threads=2):
+    node = cluster.nodes[0]
+    scan = ScanOperator(node, table, threads, batch_rows=64)
+    top = TopNOperator(node, scan, "score", limit, threads,
+                       descending=descending)
+    sink = CollectSink()
+    frag = QueryFragment(node, top, threads, sink=sink)
+    cluster.run_process(run_fragments(cluster.sim, [frag]))
+    return sink.result()
+
+
+def make_table(rows, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.empty(rows, dtype=DTYPE)
+    t["k"] = np.arange(rows)
+    t["score"] = rng.permutation(rows).astype(np.float64)
+    return t
+
+
+class TestTopN:
+    def test_returns_highest_scores_in_order(self, cluster):
+        table = make_table(500)
+        out = run_topn(cluster, table, limit=10)
+        expected = np.sort(table["score"])[::-1][:10]
+        np.testing.assert_array_equal(out["score"], expected)
+
+    def test_ascending_order(self, cluster):
+        table = make_table(200, seed=1)
+        out = run_topn(cluster, table, limit=5, descending=False)
+        expected = np.sort(table["score"])[:5]
+        np.testing.assert_array_equal(out["score"], expected)
+
+    def test_limit_larger_than_input(self, cluster):
+        table = make_table(7)
+        out = run_topn(cluster, table, limit=100)
+        assert len(out) == 7
+        assert list(out["score"]) == sorted(table["score"], reverse=True)
+
+    def test_empty_input(self, cluster):
+        out = run_topn(cluster, make_table(0), limit=3)
+        assert out is None
+
+    def test_rows_keep_all_columns(self, cluster):
+        table = make_table(100, seed=3)
+        out = run_topn(cluster, table, limit=1)
+        best = table[np.argmax(table["score"])]
+        assert out[0]["k"] == best["k"]
+
+    def test_bad_limit_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            TopNOperator(cluster.nodes[0], None, "score", 0, 2)

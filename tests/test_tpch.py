@@ -1,0 +1,153 @@
+"""TPC-H: generator invariants and distributed-vs-reference correctness."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR
+from repro.tpch import generate, reference_answer, run_query
+from repro.tpch.datagen import TPCHData
+from repro.tpch.schema import date_to_days
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(0.01, 2, seed=3)
+
+
+def answers_close(a, b, tol=1e-6):
+    assert set(a) == set(b), f"group keys differ: {set(a) ^ set(b)}"
+    for key in a:
+        assert abs(a[key] - b[key]) <= tol * max(1.0, abs(a[key])), (
+            f"group {key}: {a[key]} != {b[key]}")
+
+
+class TestDatagen:
+    def test_cardinalities_follow_scale_factor(self, data):
+        assert len(data.customer) == 1500
+        assert len(data.orders) == 15000
+        # 1..7 lineitems per order, ~4 on average.
+        assert 1 * len(data.orders) <= len(data.lineitem) <= 7 * len(data.orders)
+
+    def test_deterministic(self):
+        a = generate(0.005, 2, seed=9)
+        b = generate(0.005, 2, seed=9)
+        np.testing.assert_array_equal(a.orders, b.orders)
+        np.testing.assert_array_equal(a.lineitem, b.lineitem)
+
+    def test_partitions_cover_tables(self, data):
+        for table in ("customer", "orders", "lineitem"):
+            parts = data.partitions[table]
+            total = sum(len(p) for p in parts)
+            assert total == len(getattr(data, table))
+
+    def test_nation_replicated(self, data):
+        parts = data.partitions["nation"]
+        assert len(parts) == 2
+        np.testing.assert_array_equal(parts[0], parts[1])
+
+    def test_lineitem_keys_reference_orders(self, data):
+        assert np.isin(data.lineitem["l_orderkey"],
+                       data.orders["o_orderkey"]).all()
+
+    def test_receiptdate_after_shipdate(self, data):
+        assert (data.lineitem["l_receiptdate"] >
+                data.lineitem["l_shipdate"]).all()
+
+    def test_copartition_places_by_key(self):
+        d = generate(0.005, 3, seed=4, copartition=True)
+        for i, part in enumerate(d.partitions["orders"]):
+            assert (part["o_orderkey"] % 3 == i).all()
+        for i, part in enumerate(d.partitions["lineitem"]):
+            assert (part["l_orderkey"] % 3 == i).all()
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            generate(0, 2)
+
+    def test_date_mapping_monotone(self):
+        assert date_to_days(1995, 3, 15) > date_to_days(1993, 7, 1)
+        assert date_to_days(1993, 10, 1) > date_to_days(1993, 7, 1)
+
+
+class TestReference:
+    def test_q4_counts_positive(self, data):
+        ref = reference_answer("Q4", data)
+        assert ref and all(v > 0 for v in ref.values())
+        assert set(ref) <= {0, 1, 2, 3, 4}
+
+    def test_q3_nonempty(self, data):
+        assert reference_answer("Q3", data)
+
+    def test_q10_nonempty(self, data):
+        assert reference_answer("Q10", data)
+
+    def test_unknown_query_rejected(self, data):
+        with pytest.raises(ValueError):
+            reference_answer("Q99", data)
+
+
+@pytest.mark.parametrize("query", ["Q3", "Q4", "Q10"])
+class TestDistributedCorrectness:
+    def test_matches_reference(self, query, data):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        result = run_query(cluster, query, data, design="MESQ/SR")
+        answers_close(result.answer, reference_answer(query, data))
+
+    def test_matches_reference_on_rc_read(self, query, data):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        result = run_query(cluster, query, data, design="MEMQ/RD")
+        answers_close(result.answer, reference_answer(query, data))
+
+    def test_matches_reference_on_mpi(self, query, data):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        result = run_query(cluster, query, data, design="MPI")
+        answers_close(result.answer, reference_answer(query, data))
+
+
+class TestLocalDataPlan:
+    def test_q4_local_data_matches(self):
+        data = generate(0.01, 3, seed=5, copartition=True)
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=3,
+                                        threads_per_node=2))
+        result = run_query(cluster, "Q4", data, design="MESQ/SR",
+                           local_data=True)
+        answers_close(result.answer, reference_answer("Q4", data))
+
+    def test_local_data_is_faster_than_shuffled(self):
+        data = generate(0.02, 2, seed=5, copartition=True)
+        c1 = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                   threads_per_node=2))
+        local = run_query(c1, "Q4", data, design="MESQ/SR", local_data=True)
+        c2 = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                   threads_per_node=2))
+        shuffled = run_query(c2, "Q4", data, design="MESQ/SR")
+        assert local.response_time_ns <= shuffled.response_time_ns
+
+    def test_local_data_only_for_q4(self):
+        data = generate(0.005, 2, copartition=True)
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        with pytest.raises(ValueError, match="Q4"):
+            run_query(cluster, "Q3", data, local_data=True)
+
+    def test_unknown_query_rejected(self, ):
+        data = generate(0.005, 2)
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        with pytest.raises(ValueError, match="unknown query"):
+            run_query(cluster, "Q7", data)
+
+
+class TestScaling:
+    def test_answer_independent_of_cluster_size(self):
+        base = generate(0.008, 2, seed=21)
+        ref = reference_answer("Q4", base)
+        for nodes in (2, 4):
+            data = generate(0.008, nodes, seed=21)
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                            threads_per_node=2))
+            result = run_query(cluster, "Q4", data, design="SEMQ/SR")
+            answers_close(result.answer, ref)
