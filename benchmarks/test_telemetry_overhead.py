@@ -1,0 +1,48 @@
+"""Perf guard: telemetry must be cheap enough to stay on by default.
+
+The instrumentation strategy (DESIGN.md, "Observability") keeps hot paths
+to plain integer adds and harvests lazily at snapshot time, so the
+default-enabled mode should cost the same wall-clock time as the global
+no-op mode.  This guard fails if someone adds per-event registry or
+tracer work to a hot path.
+"""
+
+import time
+
+from repro.bench.workloads import run_repartition
+from repro.cluster import Cluster
+from repro.fabric.config import EDR, ClusterConfig
+from repro.telemetry import set_enabled
+
+MIB = 1 << 20
+ROUNDS = 5
+
+
+def _shuffle_seconds() -> float:
+    cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+    t0 = time.perf_counter()
+    run_repartition(cluster, "MESQ/SR", bytes_per_node=24 * MIB)
+    return time.perf_counter() - t0
+
+
+def test_enabled_mode_within_10pct_of_noop(benchmark):
+    enabled_times, disabled_times = [], []
+    try:
+        # Interleave rounds so machine noise hits both modes equally;
+        # min-of-N is the standard low-noise wall-clock estimator.
+        for _ in range(ROUNDS):
+            set_enabled(True)
+            enabled_times.append(_shuffle_seconds())
+            set_enabled(False)
+            disabled_times.append(_shuffle_seconds())
+    finally:
+        set_enabled(True)
+    enabled, disabled = min(enabled_times), min(disabled_times)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["enabled_s"] = round(enabled, 4)
+    benchmark.extra_info["disabled_s"] = round(disabled, 4)
+    assert enabled <= 1.10 * disabled, (
+        f"default-enabled telemetry is {enabled / disabled:.2f}x the "
+        f"no-op mode ({enabled:.3f}s vs {disabled:.3f}s); hot paths must "
+        "stay at plain integer adds"
+    )

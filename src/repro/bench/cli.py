@@ -5,6 +5,8 @@ Regenerates the paper's tables and figures::
     repro-bench table1 fig12            # specific experiments
     repro-bench --all --scale 0.25      # everything, quick mode
     repro-bench fig10 --json out.json   # machine-readable output
+    repro-bench fig8 --trace t.json     # Perfetto-loadable trace
+    repro-bench fig11 --metrics m.json  # per-node transport metrics
 """
 
 from __future__ import annotations
@@ -17,8 +19,12 @@ import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.report import render
+from repro.telemetry.session import format_digest, session
 
 __all__ = ["main"]
+
+#: version of the ``--json`` result document layout.
+RESULTS_SCHEMA_VERSION = 2
 
 
 def main(argv=None) -> int:
@@ -37,6 +43,13 @@ def main(argv=None) -> int:
                              "use 0.25 for a quick pass)")
     parser.add_argument("--json", metavar="PATH",
                         help="additionally dump results as JSON")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="dump per-experiment telemetry snapshots "
+                             "(per-node NIC/verbs/endpoint counters) as JSON")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a Chrome trace-event file of every "
+                             "simulated run (load in Perfetto / "
+                             "chrome://tracing)")
     args = parser.parse_args(argv)
 
     names = list(ALL_EXPERIMENTS) if args.all else args.experiments
@@ -47,20 +60,45 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    collected = []
-    for name in names:
-        start = time.time()
-        results = ALL_EXPERIMENTS[name](scale=args.scale)
-        for result in results:
-            print(render(result))
-            print()
-            collected.append(dataclasses.asdict(result))
-        print(f"[{name} done in {time.time() - start:.1f}s]",
-              file=sys.stderr)
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(collected, fh, indent=2)
-        print(f"wrote {args.json}", file=sys.stderr)
+    experiments_out = []
+    with session(trace=args.trace is not None) as sess:
+        for name in names:
+            start = time.time()
+            results = ALL_EXPERIMENTS[name](scale=args.scale)
+            digest = sess.checkpoint(name)
+            if digest["runs"]:
+                line = format_digest(digest)
+                for result in results:
+                    result.notes = (
+                        f"{result.notes}; {line}" if result.notes else line)
+            wall = time.time() - start
+            for result in results:
+                print(render(result))
+                print()
+            experiments_out.append({
+                "name": name,
+                "wall_clock_s": round(wall, 3),
+                "results": [dataclasses.asdict(r) for r in results],
+                "metrics_digest": digest if digest["runs"] else None,
+            })
+            print(f"[{name} done in {wall:.1f}s]", file=sys.stderr)
+        if args.json:
+            document = {
+                "schema": {"name": "repro-bench-results",
+                           "version": RESULTS_SCHEMA_VERSION},
+                "scale": args.scale,
+                "experiments": experiments_out,
+            }
+            with open(args.json, "w") as fh:
+                json.dump(document, fh, indent=2)
+            print(f"wrote {args.json}", file=sys.stderr)
+        if args.metrics:
+            with open(args.metrics, "w") as fh:
+                json.dump(sess.metrics_document(), fh, indent=2)
+            print(f"wrote {args.metrics}", file=sys.stderr)
+        if args.trace:
+            sess.export_trace(args.trace)
+            print(f"wrote {args.trace}", file=sys.stderr)
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core.endpoint import EndpointConfig
 from repro.core.groups import TransmissionGroups
 from repro.core.stage import ShuffleStage
 from repro.fabric.config import EDR, FDR, ClusterConfig, NetworkConfig
+from repro.telemetry import nic_cache_stats
 from repro.tpch import generate, run_query
 
 __all__ = [
@@ -50,17 +51,30 @@ def _volume(design: str, scale: float, nodes: int = 8,
     return max(2 * MIB, base)
 
 
-def _throughput(network: NetworkConfig, design: str, nodes: int,
-                pattern: str, scale: float,
-                config: Optional[EndpointConfig] = None,
-                num_endpoints: Optional[int] = None,
-                threads: int = 0) -> float:
+def _run(network: NetworkConfig, design: str, nodes: int,
+         pattern: str, scale: float,
+         config: Optional[EndpointConfig] = None,
+         num_endpoints: Optional[int] = None,
+         threads: int = 0):
+    """One shuffle run; returns ``(cluster, workload result)`` so callers
+    can harvest transport telemetry alongside the throughput number."""
     cluster = Cluster(ClusterConfig(network=network, num_nodes=nodes,
                                     threads_per_node=threads))
     runner = run_repartition if pattern == "repartition" else run_broadcast
     result = runner(cluster, design,
                     bytes_per_node=_volume(design, scale, nodes, pattern),
                     config=config, num_endpoints=num_endpoints)
+    return cluster, result
+
+
+def _throughput(network: NetworkConfig, design: str, nodes: int,
+                pattern: str, scale: float,
+                config: Optional[EndpointConfig] = None,
+                num_endpoints: Optional[int] = None,
+                threads: int = 0) -> float:
+    _cluster, result = _run(network, design, nodes, pattern, scale,
+                            config=config, num_endpoints=num_endpoints,
+                            threads=threads)
     return result.receive_throughput_gib_per_node()
 
 
@@ -189,13 +203,15 @@ def fig11(network: NetworkConfig = EDR, nodes: int = 16,
     """
     x_qps: List[int] = []
     rows: Dict[str, Dict[int, float]] = {"SQ/SR": {}, "MQ/SR": {}, "MQ/RD": {}}
+    miss_rates: Dict[str, Dict[int, float]] = {k: {} for k in rows}
     for k in endpoint_counts:
         for kind, design in (("SQ/SR", "MESQ/SR"), ("MQ/SR", "MEMQ/SR"),
                              ("MQ/RD", "MEMQ/RD")):
             qps = k if kind == "SQ/SR" else k * nodes
-            thr = _throughput(network, design, nodes, "repartition", scale,
-                              num_endpoints=k)
-            rows[kind][qps] = thr
+            cluster, result = _run(network, design, nodes, "repartition",
+                                   scale, num_endpoints=k)
+            rows[kind][qps] = result.receive_throughput_gib_per_node()
+            miss_rates[kind][qps] = nic_cache_stats(cluster)["miss_rate"]
             if qps not in x_qps:
                 x_qps.append(qps)
     x_qps.sort()
@@ -203,12 +219,19 @@ def fig11(network: NetworkConfig = EDR, nodes: int = 16,
         Series(kind, [rows[kind].get(q) for q in x_qps])
         for kind in ("SQ/SR", "MQ/SR", "MQ/RD")
     ]
+    # The degradation mechanism (§5.1.4): once QPs outgrow the NIC's
+    # context cache, every work request risks a PCIe round trip.
+    cache_note = ", ".join(
+        f"{kind} {100.0 * miss_rates[kind][max(miss_rates[kind])]:.0f}%"
+        for kind in ("SQ/SR", "MQ/SR", "MQ/RD")
+    )
     return ExperimentResult(
         experiment="fig11",
         title=f"Effect of many Queue Pairs ({network.name}, {nodes} nodes)",
         x_label="QPs per operator", x=x_qps,
         y_label="receive throughput per node (GiB/s)", series=series,
-        notes="endpoint count sweeps 1..t; QPs = k (SQ) or n*k (MQ)",
+        notes="endpoint count sweeps 1..t; QPs = k (SQ) or n*k (MQ); "
+              f"QP-cache miss rate at max QPs: {cache_note}",
     )
 
 

@@ -8,11 +8,14 @@ Most examples, tests and benchmarks start from a :class:`Cluster`:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from repro.fabric.config import ClusterConfig
 from repro.fabric.network import Fabric, Node
 from repro.sim import Simulator
+from repro.telemetry.core import Telemetry
+from repro.telemetry.session import current_session
+from repro.telemetry.trace import Tracer
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
 
@@ -25,7 +28,14 @@ class Cluster:
     def __init__(self, config: ClusterConfig):
         self.config = config
         self.sim = Simulator()
-        self.fabric = Fabric(self.sim, config)
+        # When a telemetry session is active (e.g. repro-bench --metrics /
+        # --trace), every cluster built under it reports automatically.
+        session = current_session()
+        if session is not None:
+            self.telemetry = session.attach(self.sim, config.num_nodes)
+        else:
+            self.telemetry = Telemetry(self.sim, config.num_nodes)
+        self.fabric = Fabric(self.sim, config, telemetry=self.telemetry)
         self.contexts: List[VerbsContext] = [
             VerbsContext(self.sim, self.fabric, i)
             for i in range(config.num_nodes)
@@ -43,6 +53,18 @@ class Cluster:
     @property
     def nodes(self) -> List[Node]:
         return self.fabric.nodes
+
+    def enable_tracing(self, max_events: int = 500_000) -> Tracer:
+        """Record trace events for this cluster's run (Chrome trace JSON).
+
+        Call before building stages; export with
+        ``cluster.telemetry.tracer.export(path)``.
+        """
+        return self.telemetry.enable_tracing(max_events=max_events)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Harvest a JSON-ready metrics snapshot of the whole cluster."""
+        return self.telemetry.snapshot()
 
     def run(self, until=None) -> int:
         return self.sim.run(until)

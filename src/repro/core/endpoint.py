@@ -180,18 +180,28 @@ class _EndpointBase:
         self.net = ctx.config
         #: serializes bookkeeping when several threads share the endpoint.
         self.lock = Mutex(ctx.sim)
+        ctx.telemetry.register_endpoint(self)
 
     def _cpu(self, ns: float):
         """Charge scaled CPU time to the calling thread."""
         return self.node.cpu_delay(ns)
 
+    def _trace_stall(self, name: str, t0: int) -> None:
+        """Emit a stall span on this endpoint's track if time elapsed."""
+        waited = self.sim.now - t0
+        if waited > 0:
+            self.ctx.tracer.complete(
+                self.ctx.node_id, f"ep{self.endpoint_id}", name, t0,
+                waited, "endpoint")
+
     def _charge_registration(self, nbytes: int):
         """Process fragment: charge memory pin+register time for ``nbytes``
         (the region itself is created separately, e.g. by a BufferPool)."""
         pages = max(1, -(-nbytes // self.net.page_size))
-        yield self.sim.timeout(
-            self.net.mr_register_base_ns + pages * self.net.mr_register_ns_per_page
-        )
+        cost = (self.net.mr_register_base_ns
+                + pages * self.net.mr_register_ns_per_page)
+        self.ctx.mr_register_ns += cost
+        yield self.sim.timeout(cost)
 
 
 class SendEndpoint(_EndpointBase):
@@ -210,10 +220,13 @@ class SendEndpoint(_EndpointBase):
         self._finished_threads = 0
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: bytes transmitted per destination node (skew telemetry).
+        self.bytes_by_dest: Dict[int, int] = {}
         #: profiling: time threads spent blocked for credit / free buffers
         #: (the §5.1.3 "blocked for credit" vs "blocked on completions"
         #: distinction).
         self.credit_wait_ns = 0
+        self.credit_stalls = 0
         self.free_wait_ns = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -236,11 +249,19 @@ class SendEndpoint(_EndpointBase):
         """Process fragment implementing SEND (may wait for flow control)."""
         raise NotImplementedError
 
+    def record_send(self, dest: int, nbytes: int) -> None:
+        """Account one transmitted message (per-destination skew feeds
+        the telemetry snapshot)."""
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.bytes_by_dest[dest] = self.bytes_by_dest.get(dest, 0) + nbytes
+
     def get_free(self):
         """Process fragment implementing GETFREE; returns a Buffer."""
         t0 = self.sim.now
         buf = yield self._free.get()
         self.free_wait_ns += self.sim.now - t0
+        self._trace_stall("free-wait", t0)
         yield self._cpu(self.net.poll_cq_ns)
         return buf
 
@@ -249,7 +270,11 @@ class SendEndpoint(_EndpointBase):
         t0 = self.sim.now
         while conn.sent >= conn.credit:
             yield conn.notify.wait()
-        self.credit_wait_ns += self.sim.now - t0
+        waited = self.sim.now - t0
+        if waited > 0:
+            self.credit_stalls += 1
+            self.credit_wait_ns += waited
+            self._trace_stall("credit-stall", t0)
 
     def finish(self):
         """Process fragment: the calling thread is done sending.
@@ -300,6 +325,7 @@ class ReceiveEndpoint(_EndpointBase):
         t0 = self.sim.now
         item = yield self._inbox.get()
         self.data_wait_ns += self.sim.now - t0
+        self._trace_stall("data-wait", t0)
         yield self._cpu(self.net.poll_cq_ns)
         if isinstance(item, ShuffleNetworkError):
             # Leave the error visible for the other consumer threads too.

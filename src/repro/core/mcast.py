@@ -70,8 +70,13 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
             buffer=FrameCarrier(frame), length=buf.length,
             dest=mcast_ah(self.endpoint_id),
         ))
+        # One multicast packet serves every remote member; attribute the
+        # bytes to each destination for the skew telemetry.
         self.messages_sent += 1
         self.bytes_sent += buf.length
+        for dest in others:
+            self.bytes_by_dest[dest] = \
+                self.bytes_by_dest.get(dest, 0) + buf.length
         if me in dests:
             yield self._cpu(self.net.post_wr_ns)
             self.qp.post_send(SendWR(
@@ -79,8 +84,7 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
                 buffer=FrameCarrier(frame), length=buf.length,
                 dest=self._links[me].ah,
             ))
-            self.messages_sent += 1
-            self.bytes_sent += buf.length
+            self.record_send(me, buf.length)
 
     def _send_finals(self):
         # Finals carry per-destination totals, so they go point-to-point.

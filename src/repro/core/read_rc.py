@@ -166,8 +166,7 @@ class ReadRCSendEndpoint(SendEndpoint):
                 remote_addr=link.next_valid_slot(), value=buf.addr,
                 inline=True, signaled=False,
             ))
-            self.messages_sent += 1
-            self.bytes_sent += buf.length
+            self.record_send(dest, buf.length)
 
     def _send_finals(self):
         for dest in self.destinations:

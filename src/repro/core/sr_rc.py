@@ -138,8 +138,7 @@ class SRRCSendEndpoint(SendEndpoint):
                 wr_id=("data", buf), opcode=Opcode.SEND,
                 buffer=FrameCarrier(frame), length=buf.length,
             ))
-            self.messages_sent += 1
-            self.bytes_sent += buf.length
+            self.record_send(dest, buf.length)
 
     def _send_finals(self):
         for dest in self.destinations:

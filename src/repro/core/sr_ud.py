@@ -139,8 +139,7 @@ class SRUDSendEndpoint(SendEndpoint):
                 wr_id=("data", buf), opcode=Opcode.SEND,
                 buffer=FrameCarrier(frame), length=buf.length, dest=link.ah,
             ))
-            self.messages_sent += 1
-            self.bytes_sent += buf.length
+            self.record_send(dest, buf.length)
 
     def _send_finals(self):
         for dest in self.destinations:

@@ -191,8 +191,7 @@ class WriteRCSendEndpoint(SendEndpoint):
                           payload=buf.payload, length=buf.length)
             yield from self._push(self._links[dest], frame, buf,
                                   buf.length, signaled=True)
-            self.messages_sent += 1
-            self.bytes_sent += buf.length
+            self.record_send(dest, buf.length)
 
     def _send_finals(self):
         for dest in self.destinations:

@@ -12,12 +12,13 @@ errors, §4.4.2) is available for failure testing and defaults to off.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.fabric.config import ClusterConfig, NetworkConfig
 from repro.fabric.nic import NIC
 from repro.fabric.packet import Packet
 from repro.sim import Event, Simulator
+from repro.telemetry.core import Telemetry
 
 __all__ = ["Node", "Fabric"]
 
@@ -42,7 +43,8 @@ class Node:
 class Fabric:
     """The switched network connecting all nodes of a cluster."""
 
-    def __init__(self, sim: Simulator, cluster: ClusterConfig):
+    def __init__(self, sim: Simulator, cluster: ClusterConfig,
+                 telemetry: Optional[Telemetry] = None):
         self.sim = sim
         self.cluster = cluster
         self.config = cluster.network
@@ -52,6 +54,12 @@ class Fabric:
         self._rng = random.Random(cluster.seed)
         self.delivered_messages = 0
         self.dropped_messages = 0
+        #: wire bytes carried per directed (src, dst) pair, including
+        #: loopback traffic; feeds the link-contention telemetry.
+        self.link_bytes: Dict[Tuple[int, int], int] = {}
+        self.telemetry = telemetry if telemetry is not None else \
+            Telemetry(sim, cluster.num_nodes)
+        self.telemetry.attach_fabric(self)
         #: verbs contexts register themselves here (node_id -> VerbsContext)
         #: so Queue Pairs can resolve their peers.
         self.verbs_contexts: dict = {}
@@ -83,6 +91,8 @@ class Fabric:
         the sender's NIC (the point at which an unacknowledged transport
         considers the send complete).
         """
+        key = (packet.src_node, packet.dst_node)
+        self.link_bytes[key] = self.link_bytes.get(key, 0) + packet.wire_bytes
         if packet.src_node == packet.dst_node:
             return self._route_loopback(packet, egress_event)
         done = Event(self.sim)
@@ -130,6 +140,8 @@ class Fabric:
 
     def _mcast_leg(self, packet: Packet, node_id: int, qpn: int) -> Event:
         """One member's copy: switch hop (+jitter), then its ingress."""
+        key = (packet.src_node, node_id)
+        self.link_bytes[key] = self.link_bytes.get(key, 0) + packet.wire_bytes
         leg = Event(self.sim)
         copy = Packet(
             src_node=packet.src_node, dst_node=node_id,

@@ -43,6 +43,7 @@ class QPContextCache:
         self._entries: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def touch(self, qpn: int) -> bool:
         """Access QP ``qpn``; returns True on hit, False on miss."""
@@ -54,6 +55,7 @@ class QPContextCache:
         self._entries[qpn] = None
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return False
 
     def evict(self, qpn: int) -> None:
@@ -89,12 +91,16 @@ class NIC:
         self.disable_qp_cache = disable_qp_cache
         self.tx_messages = 0
         self.rx_messages = 0
+        #: cumulative processing-engine stall waiting on PCIe round trips
+        #: for cold QP contexts (the Fig 10/11 degradation mechanism).
+        self.pcie_stall_ns = 0
 
     def _qp_touch_penalty(self, qpn: int) -> int:
         if self.disable_qp_cache:
             return 0
         if self.qp_cache.touch(qpn):
             return 0
+        self.pcie_stall_ns += self.config.qp_cache_miss_ns
         return self.config.qp_cache_miss_ns
 
     def process_wr(self, qpn: int, extra_ns: int = 0) -> Event:

@@ -159,6 +159,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._observed = False
         self.name = name or getattr(generator, "__name__", "process")
+        sim.processes_started += 1
         # Kick the process off at the current time.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
@@ -194,6 +195,7 @@ class Process(Event):
                 return
         else:
             self._waiting_on = None
+        self.sim.process_wakeups += 1
         try:
             if event.ok:
                 target = self._generator.send(event.value)
@@ -286,6 +288,12 @@ class Simulator:
         self._heap: List = []
         self._sequence = 0
         self._defunct: List[Process] = []
+        # Telemetry counters, harvested lazily by repro.telemetry (the
+        # kernel stays dependency-free): plain int adds per event.
+        self.events_dispatched = 0
+        self.process_wakeups = 0
+        self.processes_started = 0
+        self.max_queue_depth = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -326,6 +334,10 @@ class Simulator:
 
     def step(self) -> None:
         """Process the next event on the queue."""
+        depth = len(self._heap)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self.events_dispatched += 1
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
         event._run_callbacks()

@@ -184,6 +184,28 @@ class RatePipe:
         self.name = name
         self._busy_until: int = 0
         self.total_units: float = 0.0
+        #: cumulative occupied time (drives utilization telemetry).
+        self.busy_ns: int = 0
+        # Optional tracing hook, bound by repro.telemetry.  Because the
+        # pipe is FIFO-serial, its occupancy intervals never overlap and
+        # can be emitted as well-formed B/E span pairs.
+        self._tracer = None
+        self._trace_node = 0
+        self._trace_track = ""
+        self._trace_name = ""
+
+    def bind_trace(self, tracer, node_id: int, track: str, name: str) -> None:
+        """Record every occupancy interval as a span on ``node/track``."""
+        self._tracer = tracer
+        self._trace_node = node_id
+        self._trace_track = track
+        self._trace_name = name
+
+    def _trace_interval(self, start: int, duration: int, units: float) -> None:
+        self._tracer.span(
+            self._trace_node, self._trace_track, self._trace_name,
+            start, start + duration, cat="fabric",
+            args={"bytes": int(units)} if units else None)
 
     def transmit(self, units: float, extra_ns: int = 0) -> Event:
         """Submit ``units`` of work; returns the completion event.
@@ -197,6 +219,9 @@ class RatePipe:
         duration = int(units / self.rate) + int(extra_ns)
         self._busy_until = start + duration
         self.total_units += units
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, units)
         event = Event(self.sim)
         event.succeed(delay=self._busy_until - self.sim.now)
         return event
@@ -204,7 +229,11 @@ class RatePipe:
     def occupy(self, duration_ns: int) -> Event:
         """Occupy the pipe for a fixed duration (rate-independent work)."""
         start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + int(duration_ns)
+        duration = int(duration_ns)
+        self._busy_until = start + duration
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, 0)
         event = Event(self.sim)
         event.succeed(delay=self._busy_until - self.sim.now)
         return event

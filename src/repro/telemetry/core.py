@@ -1,0 +1,251 @@
+"""The per-cluster telemetry object: registries + tracer + harvesting.
+
+Design notes
+------------
+
+Hot paths (the NIC work-request loop, the QP state machines, the
+endpoint send loop) do **not** call into the registry per event — they
+keep plain integer attributes (``nic.tx_messages += 1``), exactly as the
+seed code already did for a handful of values.  :meth:`Telemetry.snapshot`
+harvests those attributes lazily, so the instrumentation cost per event
+is one integer add regardless of whether telemetry is enabled.  The
+registries exist for control-path instruments, user extensions, and as
+the uniform output format; callback metrics bridge the two worlds.
+
+To avoid import cycles this module never imports the fabric/verbs/core
+layers — harvesting is duck-typed over the objects handed to
+:meth:`attach_fabric` / :meth:`register_endpoint`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.trace import NULL_TRACER, TraceBudget, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+__all__ = [
+    "Telemetry",
+    "set_enabled",
+    "is_enabled",
+    "nic_cache_stats",
+]
+
+#: global default for newly created Telemetry objects (the no-op mode).
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Set the global default mode for new :class:`Telemetry` objects.
+
+    Disabling routes all registries to the shared no-op instances and
+    stops endpoint tracking, so no per-instrument state is allocated.
+    The always-on plain counters keep counting (they cost one int add
+    each) and still appear in snapshots.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+class Telemetry:
+    """Metrics registries and a tracer for one simulated cluster.
+
+    Owned by :class:`~repro.cluster.Cluster` (one registry per node plus
+    a fabric-wide one) and threaded through the fabric so every layer can
+    reach it as ``ctx.telemetry`` / ``fabric.telemetry``.
+    """
+
+    def __init__(self, sim: "Simulator", num_nodes: int,
+                 enabled: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None):
+        if enabled is None:
+            enabled = _ENABLED
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if enabled:
+            self.fabric_registry = MetricsRegistry("fabric")
+            self._node_registries: Dict[int, MetricsRegistry] = {
+                i: MetricsRegistry(f"node{i}") for i in range(num_nodes)
+            }
+        else:
+            self.fabric_registry = NULL_REGISTRY
+            self._node_registries = {}
+        self._fabric = None
+        self._endpoints: List[Any] = []
+
+    # -- access ------------------------------------------------------------
+
+    def node_registry(self, node_id: int) -> MetricsRegistry:
+        if not self.enabled:
+            return NULL_REGISTRY
+        reg = self._node_registries.get(node_id)
+        if reg is None:
+            reg = self._node_registries[node_id] = MetricsRegistry(
+                f"node{node_id}")
+        return reg
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_fabric(self, fabric) -> None:
+        """Bind to the fabric whose nodes this object observes."""
+        self._fabric = fabric
+        if self.tracer is not NULL_TRACER:
+            self._wire_pipes()
+
+    def register_endpoint(self, endpoint) -> None:
+        """Called by endpoint constructors so stalls/skew can be harvested."""
+        if self.enabled:
+            self._endpoints.append(endpoint)
+
+    def enable_tracing(self, max_events: int = 500_000,
+                       budget: Optional[TraceBudget] = None,
+                       pid_base: int = 0, label: str = "") -> Tracer:
+        """Start recording trace events; returns the live tracer.
+
+        Call before building endpoints/stages — components capture the
+        tracer when constructed; NIC pipes are rewired here.
+        """
+        self.tracer = Tracer(
+            self.sim,
+            budget=budget if budget is not None else TraceBudget(max_events),
+            pid_base=pid_base, label=label)
+        if self._fabric is not None:
+            self._wire_pipes()
+        return self.tracer
+
+    def _wire_pipes(self) -> None:
+        for node in self._fabric.nodes:
+            nic = node.nic
+            nic.egress.bind_trace(self.tracer, node.id, "egress", "tx")
+            nic.ingress.bind_trace(self.tracer, node.id, "ingress", "rx")
+            nic.processor.bind_trace(self.tracer, node.id, "nicproc", "wr")
+
+    # -- harvesting --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready snapshot: fabric-wide plus per-node metrics."""
+        sim = self.sim
+        fabric: Dict[str, Any] = {
+            "sim.now_ns": sim.now,
+            "sim.events_dispatched": sim.events_dispatched,
+            "sim.process_wakeups": sim.process_wakeups,
+            "sim.processes_started": sim.processes_started,
+            "sim.max_queue_depth": sim.max_queue_depth,
+        }
+        nodes: Dict[str, Dict[str, Any]] = {}
+        fb = self._fabric
+        if fb is not None:
+            fabric["fabric.delivered_messages"] = fb.delivered_messages
+            fabric["fabric.dropped_messages"] = fb.dropped_messages
+            fabric["fabric.link_bytes"] = {
+                f"{s}->{d}": v
+                for (s, d), v in sorted(fb.link_bytes.items())
+            }
+            for node in fb.nodes:
+                nodes[str(node.id)] = self._node_snapshot(node)
+        for ep in self._endpoints:
+            self._merge_endpoint(nodes.setdefault(str(ep.ctx.node_id), {}), ep)
+        for metrics in nodes.values():
+            self._finish_skew(metrics)
+        fabric.update(self.fabric_registry.snapshot())
+        for node_id, reg in self._node_registries.items():
+            nodes.setdefault(str(node_id), {}).update(reg.snapshot())
+        return {"fabric": fabric, "nodes": nodes}
+
+    def _node_snapshot(self, node) -> Dict[str, Any]:
+        nic = node.nic
+        elapsed = max(1, self.sim.now)
+        out: Dict[str, Any] = {
+            "nic.tx_messages": nic.tx_messages,
+            "nic.rx_messages": nic.rx_messages,
+            "nic.tx_bytes": int(nic.egress.total_units),
+            "nic.rx_bytes": int(nic.ingress.total_units),
+            "nic.qp_cache.hits": nic.qp_cache.hits,
+            "nic.qp_cache.misses": nic.qp_cache.misses,
+            "nic.qp_cache.evictions": nic.qp_cache.evictions,
+            "nic.qp_cache.occupancy": nic.qp_cache.occupancy,
+            "nic.qp_cache.miss_rate": round(nic.qp_cache.miss_rate, 6),
+            "nic.pcie_stall_ns": nic.pcie_stall_ns,
+            "nic.processor_busy_ns": nic.processor.busy_ns,
+            "link.egress_busy_ns": nic.egress.busy_ns,
+            "link.ingress_busy_ns": nic.ingress.busy_ns,
+            "link.egress_utilization": round(
+                min(1.0, nic.egress.busy_ns / elapsed), 4),
+            "link.ingress_utilization": round(
+                min(1.0, nic.ingress.busy_ns / elapsed), 4),
+        }
+        ctx = self._fabric.verbs_contexts.get(node.id)
+        if ctx is not None:
+            qps = list(ctx._qps.values())
+            out.update({
+                "verbs.qps_created": ctx.qps_created,
+                "verbs.sends_posted": sum(q.sends_posted for q in qps),
+                "verbs.recvs_posted": sum(q.recvs_posted for q in qps),
+                "verbs.send_wrs_in_flight": sum(
+                    q._send_outstanding for q in qps),
+                "verbs.ud_drops": sum(q.ud_drops for q in qps),
+                "verbs.rnr_events": sum(q.rnr_events for q in qps),
+                "verbs.rnr_stall_ns": sum(q.rnr_stall_ns for q in qps),
+                "verbs.cqes_pushed": sum(cq.pushed for cq in ctx._cqs),
+                "verbs.cqes_polled": sum(cq.polled for cq in ctx._cqs),
+                "verbs.registered_bytes": ctx.registered_bytes,
+                "verbs.peak_registered_bytes": ctx.peak_registered_bytes,
+                "verbs.mr_register_ns": ctx.mr_register_ns,
+            })
+        return out
+
+    @staticmethod
+    def _merge_endpoint(metrics: Dict[str, Any], ep) -> None:
+        def add(key: str, value) -> None:
+            metrics[key] = metrics.get(key, 0) + value
+
+        if hasattr(ep, "messages_sent"):  # send side
+            add("ep.messages_sent", ep.messages_sent)
+            add("ep.bytes_sent", ep.bytes_sent)
+            add("ep.credit_wait_ns", getattr(ep, "credit_wait_ns", 0))
+            add("ep.credit_stalls", getattr(ep, "credit_stalls", 0))
+            add("ep.free_wait_ns", getattr(ep, "free_wait_ns", 0))
+            by_dest = getattr(ep, "bytes_by_dest", None)
+            if by_dest:
+                merged = metrics.setdefault("ep.bytes_by_dest", {})
+                for dest, nbytes in by_dest.items():
+                    key = str(dest)
+                    merged[key] = merged.get(key, 0) + nbytes
+        if hasattr(ep, "messages_received"):  # receive side
+            add("ep.messages_received", ep.messages_received)
+            add("ep.bytes_received", ep.bytes_received)
+            add("ep.data_wait_ns", getattr(ep, "data_wait_ns", 0))
+
+    @staticmethod
+    def _finish_skew(metrics: Dict[str, Any]) -> None:
+        """Per-destination skew: max over mean of this node's sent bytes."""
+        by_dest = metrics.get("ep.bytes_by_dest")
+        if not by_dest:
+            return
+        values = list(by_dest.values())
+        mean = sum(values) / len(values)
+        metrics["ep.dest_skew"] = round(max(values) / mean, 4) if mean else 0.0
+
+
+def nic_cache_stats(cluster_or_fabric) -> Dict[str, Any]:
+    """Aggregate QP-context-cache counters across all NICs of a cluster."""
+    fabric = getattr(cluster_or_fabric, "fabric", cluster_or_fabric)
+    hits = sum(n.nic.qp_cache.hits for n in fabric.nodes)
+    misses = sum(n.nic.qp_cache.misses for n in fabric.nodes)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": sum(n.nic.qp_cache.evictions for n in fabric.nodes),
+        "miss_rate": misses / total if total else 0.0,
+        "pcie_stall_ns": sum(n.nic.pcie_stall_ns for n in fabric.nodes),
+    }

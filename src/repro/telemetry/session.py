@@ -1,0 +1,176 @@
+"""Telemetry sessions: collect metrics/traces across many clusters.
+
+Benchmark drivers construct a fresh :class:`~repro.cluster.Cluster` per
+data point, so a figure is dozens of independent simulations.  A
+:class:`TelemetrySession` is the collection point: while one is active
+(see :func:`session`), every Cluster constructed registers its
+:class:`~repro.telemetry.core.Telemetry` with it.  The session
+
+* assigns each run a disjoint trace pid namespace and a *shared* event
+  budget, so ``--trace`` output stays browser-sized no matter how many
+  runs a figure needs;
+* seals finished runs into plain snapshot dicts at :meth:`checkpoint`
+  (dropping the references to the simulated cluster, so memory does not
+  accumulate over a long ``--all`` invocation);
+* reduces snapshots to a one-line digest — the transport-level
+  explanation attached to each reproduced figure's notes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.trace import TraceBudget, Tracer
+
+__all__ = [
+    "TelemetrySession",
+    "session",
+    "current_session",
+    "digest_snapshots",
+    "format_digest",
+]
+
+_ACTIVE: Optional["TelemetrySession"] = None
+
+
+def current_session() -> Optional["TelemetrySession"]:
+    """The session new Clusters should report to, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def session(trace: bool = False, trace_budget_events: int = 400_000):
+    """Activate a TelemetrySession for the duration of the ``with`` block."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        # Nested sessions would double-count; inner scopes just reuse.
+        yield _ACTIVE
+        return
+    sess = TelemetrySession(trace=trace,
+                            trace_budget_events=trace_budget_events)
+    _ACTIVE = sess
+    try:
+        yield sess
+    finally:
+        _ACTIVE = None
+
+
+class TelemetrySession:
+    """Aggregates telemetry from every cluster built while active."""
+
+    #: pid offset between runs in the merged trace.
+    PID_STRIDE = 1000
+
+    def __init__(self, trace: bool = False,
+                 trace_budget_events: int = 400_000):
+        self.trace = trace
+        self.budget = TraceBudget(trace_budget_events) if trace else None
+        self.telemetries: List[Telemetry] = []
+        self._tracers: List[Tracer] = []
+        self._runs = 0
+        #: sealed per-checkpoint records: {"experiment", "runs", "digest"}.
+        self.records: List[Dict[str, Any]] = []
+
+    def attach(self, sim, num_nodes: int) -> Telemetry:
+        """Create (and track) the Telemetry for one new cluster."""
+        index = self._runs
+        self._runs += 1
+        telemetry = Telemetry(sim, num_nodes)
+        if self.trace:
+            tracer = telemetry.enable_tracing(
+                budget=self.budget,
+                pid_base=index * self.PID_STRIDE,
+                label=f"run{index}")
+            self._tracers.append(tracer)
+        self.telemetries.append(telemetry)
+        return telemetry
+
+    # -- metrics -----------------------------------------------------------
+
+    def checkpoint(self, experiment: str) -> Dict[str, Any]:
+        """Seal all live runs under ``experiment``; returns their digest."""
+        snapshots = [tel.snapshot() for tel in self.telemetries]
+        digest = digest_snapshots(snapshots)
+        self.records.append({
+            "experiment": experiment,
+            "runs": snapshots,
+            "digest": digest,
+        })
+        self.telemetries.clear()
+        return digest
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The ``--metrics`` JSON payload."""
+        if self.telemetries:  # runs nobody checkpointed
+            self.checkpoint("(unattributed)")
+        return {
+            "schema": {"name": "repro-telemetry-metrics", "version": 1},
+            "experiments": self.records,
+        }
+
+    # -- tracing -----------------------------------------------------------
+
+    def trace_document(self) -> Dict[str, Any]:
+        """Merge every run's trace into one Chrome trace-event document."""
+        meta: List[Dict[str, Any]] = []
+        data: List[Dict[str, Any]] = []
+        for tracer in self._tracers:
+            meta.extend(tracer._metadata_events())
+            data.extend(tracer.sorted_events())
+        data.sort(key=lambda e: e["ts"])
+        dropped = self.budget.dropped if self.budget else 0
+        return {
+            "traceEvents": meta + data,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "clock": "simulated nanoseconds (exported as microseconds)",
+                "runs": len(self._tracers),
+                "dropped_events": dropped,
+            },
+        }
+
+    def export_trace(self, path: str) -> None:
+        import json
+        with open(path, "w") as fh:
+            json.dump(self.trace_document(), fh)
+
+
+def digest_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Reduce run snapshots to the headline transport-level numbers."""
+    def node_sum(key: str) -> int:
+        return sum(
+            metrics.get(key, 0)
+            for snap in snapshots for metrics in snap["nodes"].values()
+        )
+
+    hits = node_sum("nic.qp_cache.hits")
+    misses = node_sum("nic.qp_cache.misses")
+    total = hits + misses
+    return {
+        "runs": len(snapshots),
+        "delivered_messages": sum(
+            snap["fabric"].get("fabric.delivered_messages", 0)
+            for snap in snapshots),
+        "qp_cache_hits": hits,
+        "qp_cache_misses": misses,
+        "qp_cache_miss_rate": misses / total if total else 0.0,
+        "pcie_stall_ns": node_sum("nic.pcie_stall_ns"),
+        "credit_stall_ns": node_sum("ep.credit_wait_ns"),
+        "rnr_stall_ns": node_sum("verbs.rnr_stall_ns"),
+        "data_wait_ns": node_sum("ep.data_wait_ns"),
+    }
+
+
+def format_digest(digest: Dict[str, Any]) -> str:
+    """One-line rendering for ExperimentResult.notes."""
+    return (
+        f"telemetry[{digest['runs']} runs]: "
+        f"qp-cache miss {100.0 * digest['qp_cache_miss_rate']:.1f}% "
+        f"({digest['qp_cache_misses']}/"
+        f"{digest['qp_cache_hits'] + digest['qp_cache_misses']}), "
+        f"pcie-stall {digest['pcie_stall_ns'] / 1e6:.1f}ms, "
+        f"credit-stall {digest['credit_stall_ns'] / 1e6:.1f}ms, "
+        f"rnr-stall {digest['rnr_stall_ns'] / 1e6:.1f}ms"
+    )

@@ -8,7 +8,7 @@ resolves remote contexts for the transport state machines.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.fabric.network import Fabric
 from repro.sim import Simulator
@@ -34,9 +34,22 @@ class VerbsContext:
         self.config = fabric.config
         self.memory = AddressSpace(node_id)
         self._qps: Dict[int, QueuePair] = {}
+        self._cqs: List[CompletionQueue] = []
         self._qpn_counter = 0
         self.qps_created = 0
+        #: cumulative simulated time spent pinning/registering memory.
+        self.mr_register_ns = 0
         fabric.verbs_contexts[node_id] = self
+
+    @property
+    def telemetry(self):
+        """The cluster's telemetry bundle (dynamic: tracing may be
+        enabled on the fabric after this context was created)."""
+        return self.fabric.telemetry
+
+    @property
+    def tracer(self):
+        return self.fabric.telemetry.tracer
 
     # -- object creation ---------------------------------------------------
 
@@ -49,7 +62,9 @@ class VerbsContext:
         return qpn
 
     def create_cq(self, depth: int = 4096) -> CompletionQueue:
-        return CompletionQueue(self.sim, depth)
+        cq = CompletionQueue(self.sim, depth)
+        self._cqs.append(cq)
+        return cq
 
     def create_qp(self, qp_type: QPType, send_cq: CompletionQueue,
                   recv_cq: CompletionQueue, max_send_wr: int = 1024,
@@ -93,9 +108,9 @@ class VerbsContext:
         """
         config = self.config
         pages = max(1, -(-length // config.page_size))
-        yield self.sim.timeout(
-            config.mr_register_base_ns + pages * config.mr_register_ns_per_page
-        )
+        cost = config.mr_register_base_ns + pages * config.mr_register_ns_per_page
+        self.mr_register_ns += cost
+        yield self.sim.timeout(cost)
         return self.memory.register(length)
 
     def dereg_mr(self, mr: MemoryRegion) -> None:

@@ -73,6 +73,11 @@ class QueuePair:
         self.sends_posted = 0
         self.recvs_posted = 0
         self.ud_drops = 0
+        #: receiver-not-ready events: a Send arrived before any Receive
+        #: was posted, stalling the connection (telemetry surfaces these
+        #: because the credit protocol exists to keep them at zero).
+        self.rnr_events = 0
+        self.rnr_stall_ns = 0
 
     # -- state transitions -------------------------------------------------
 
@@ -189,6 +194,7 @@ class QueuePair:
     def _rc_send(self, wr: SendWR):
         config = self.ctx.config
         nic = self.ctx.nic
+        t0 = self.ctx.sim.now
         yield nic.process_wr(self.qpn)
         packet = Packet(
             src_node=self.ctx.node_id, dst_node=self._peer.node_id,
@@ -203,7 +209,15 @@ class QueuePair:
         remote_qp = remote.qp(self._peer.qpn)
         # Receiver-not-ready: stall until a Receive is posted.  (The
         # paper's credit protocol exists precisely so this never happens.)
+        rnr_t0 = self.ctx.sim.now
         rwr = yield remote_qp._rc_recvs.get()
+        stalled = self.ctx.sim.now - rnr_t0
+        if stalled:
+            remote_qp.rnr_events += 1
+            remote_qp.rnr_stall_ns += stalled
+            self.ctx.tracer.complete(
+                self._peer.node_id, f"qp{self._peer.qpn}", "rnr-stall",
+                rnr_t0, stalled, "verbs")
         remote_qp._recv_posted -= 1
         remote_qp._deposit(rwr, packet)
         ack = Packet(
@@ -213,9 +227,13 @@ class QueuePair:
         )
         yield self.ctx.fabric.route(ack)
         self._complete_send(wr, wr.length)
+        self.ctx.tracer.complete(
+            self.ctx.node_id, f"qp{self.qpn}", "rc-send", t0,
+            self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
 
     def _rc_read(self, wr: SendWR):
         config = self.ctx.config
+        t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn)
         request = Packet(
             src_node=self.ctx.node_id, dst_node=self._peer.node_id,
@@ -239,9 +257,13 @@ class QueuePair:
             wr.buffer.payload = response.payload
             wr.buffer.length = wr.length
         self._complete_send(wr, wr.length)
+        self.ctx.tracer.complete(
+            self.ctx.node_id, f"qp{self.qpn}", "rc-read", t0,
+            self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
 
     def _rc_write(self, wr: SendWR):
         config = self.ctx.config
+        t0 = self.ctx.sim.now
         # Inlined payloads skip the extra DMA fetch of the payload [16].
         extra = 0 if wr.inline else config.nic_wr_ns
         yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra)
@@ -267,6 +289,9 @@ class QueuePair:
         )
         yield self.ctx.fabric.route(ack)
         self._complete_send(wr, wr.length)
+        self.ctx.tracer.complete(
+            self.ctx.node_id, f"qp{self.qpn}", "rc-write", t0,
+            self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
 
     # -- Unreliable Datagram data path ---------------------------------------
 
@@ -274,6 +299,7 @@ class QueuePair:
         from repro.verbs.constants import MCAST_NODE
 
         config = self.ctx.config
+        t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn)
         packet = Packet(
             src_node=self.ctx.node_id, dst_node=max(wr.dest.node_id, 0),
@@ -301,6 +327,9 @@ class QueuePair:
         # No ack in UD: local completion once the NIC drained the buffer.
         yield egress_done
         self._complete_send(wr, wr.length)
+        self.ctx.tracer.complete(
+            self.ctx.node_id, f"qp{self.qpn}", "ud-send", t0,
+            self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
 
     def _ud_mcast_deliver(self, fanout: Event):
         deliveries = yield fanout

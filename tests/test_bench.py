@@ -118,7 +118,30 @@ class TestExperiments:
         captured = capsys.readouterr()
         assert "Design alternatives" in captured.out
         data = json.loads(out.read_text())
-        assert data[0]["experiment"] == "table1"
+        assert data["schema"]["name"] == "repro-bench-results"
+        assert data["schema"]["version"] >= 2
+        assert data["scale"] == 1.0
+        exp = data["experiments"][0]
+        assert exp["name"] == "table1"
+        assert exp["wall_clock_s"] >= 0
+        assert exp["results"][0]["experiment"] == "table1"
+        # table1 builds no cluster, so there is nothing to digest.
+        assert exp["metrics_digest"] is None
+
+    def test_cli_metrics_and_trace(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        rc = cli_main(["fig12", "--metrics", str(metrics),
+                       "--trace", str(trace)])
+        assert rc == 0
+        mdoc = json.loads(metrics.read_text())
+        assert mdoc["schema"]["name"] == "repro-telemetry-metrics"
+        runs = mdoc["experiments"][0]["runs"]
+        assert runs and all("nic.qp_cache.hits" in node
+                            for snap in runs
+                            for node in snap["nodes"].values())
+        tdoc = json.loads(trace.read_text())
+        assert "traceEvents" in tdoc
 
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
