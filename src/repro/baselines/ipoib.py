@@ -153,7 +153,7 @@ class IPoIBSendEndpoint(SendEndpoint):
         self.pool = BufferPool(self.ctx, pool_buffers, self.config.message_size)
         for buf in self.pool.buffers:
             self._free.put(buf)
-        registry.publish(("ep", self.endpoint_id), {"node": self.ctx.node_id})
+        registry.publish_endpoint(self.endpoint_id, {"node": self.ctx.node_id})
         return
         yield  # pragma: no cover - setup is immediate for sockets
 
@@ -199,7 +199,7 @@ class IPoIBReceiveEndpoint(ReceiveEndpoint):
         total = per_link * max(1, len(self.sources))
         self.pool = BufferPool(self.ctx, total, self.config.message_size)
         self._avail = list(self.pool.buffers)
-        registry.publish(("ep", self.endpoint_id), {"node": self.ctx.node_id})
+        registry.publish_endpoint(self.endpoint_id, {"node": self.ctx.node_id})
         return
         yield  # pragma: no cover - setup is immediate for sockets
 
@@ -218,10 +218,8 @@ class IPoIBReceiveEndpoint(ReceiveEndpoint):
         if frame.kind == "final":
             self._source_depleted(frame.src_endpoint)
             return
-        self.messages_received += 1
-        self.bytes_received += frame.length
-        self._inbox.put((DataState.MORE_DATA, frame.src_endpoint,
-                         frame.remote_addr, frame))
+        # The Frame doubles as the delivered "buffer": it carries .length.
+        self._deliver(frame.src_endpoint, frame.remote_addr, frame)
 
     def get_data(self):
         t0 = self.sim.now

@@ -316,7 +316,7 @@ class MPISendEndpoint(SendEndpoint):
         self.pool = BufferPool(self.ctx, pool_buffers, self.config.message_size)
         for buf in self.pool.buffers:
             self._free.put(buf)
-        registry.publish(("ep", self.endpoint_id), {"node": self.ctx.node_id})
+        registry.publish_endpoint(self.endpoint_id, {"node": self.ctx.node_id})
 
     def connect(self, registry: EndpointRegistry):
         return
@@ -370,7 +370,7 @@ class MPIReceiveEndpoint(ReceiveEndpoint):
         yield from self._charge_registration(total * self.config.message_size)
         self.pool = BufferPool(self.ctx, total, self.config.message_size)
         self._avail = list(self.pool.buffers)
-        registry.publish(("ep", self.endpoint_id), {"node": self.ctx.node_id})
+        registry.publish_endpoint(self.endpoint_id, {"node": self.ctx.node_id})
 
     def connect(self, registry: EndpointRegistry):
         return

@@ -66,6 +66,13 @@ class Cluster:
         """Harvest a JSON-ready metrics snapshot of the whole cluster."""
         return self.telemetry.snapshot()
 
+    def shuffle_stage(self, design, groups, **kwargs):
+        """Build a :class:`~repro.core.stage.ShuffleStage` on this cluster,
+        wired to the cluster-wide endpoint registry by default."""
+        from repro.core.stage import ShuffleStage
+        kwargs.setdefault("registry", self.registry)
+        return ShuffleStage(self.fabric, design, groups, **kwargs)
+
     def run(self, until=None) -> int:
         return self.sim.run(until)
 

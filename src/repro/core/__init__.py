@@ -6,6 +6,9 @@ Contents (section numbers refer to the paper):
   encapsulating repartition / multicast / broadcast patterns (§4.1).
 * :mod:`repro.core.endpoint` — the communication-endpoint abstraction and
   its interface (§4.2), plus shared machinery (framing, buffer pools).
+* :mod:`repro.core.transport` — the shared transport runtime under the
+  designs: connection tables, credit schemes, buffer rings, completion
+  dispatch, and the endpoint-backend registry.
 * :mod:`repro.core.sr_rc` — RDMA Send/Receive over Reliable Connection
   with the stateless credit protocol (§4.4.1).
 * :mod:`repro.core.sr_ud` — RDMA Send/Receive over Unreliable Datagram

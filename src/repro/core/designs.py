@@ -11,31 +11,30 @@ Two orthogonal dimensions:
 ``WR_RC`` (RDMA Write over RC) implements the paper's first future-work
 item and is exposed as two extra designs (SEMQ/WR, MEMQ/WR) for the
 extension benchmarks.
+
+Endpoint implementations self-register with the backend registry
+(:mod:`repro.core.transport.registry`) at import time; a :class:`Design`
+merely *names* a kind, and resolves classes and transport properties
+through the registry.  Importing the implementation modules below is
+what populates it for the built-in kinds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Type
+from typing import Dict, List, Type
 
 from repro.core.endpoint import ReceiveEndpoint, SendEndpoint
-from repro.core.read_rc import ReadRCReceiveEndpoint, ReadRCSendEndpoint
-from repro.core.sr_rc import SRRCReceiveEndpoint, SRRCSendEndpoint
-from repro.core.sr_ud import SRUDReceiveEndpoint, SRUDSendEndpoint
+from repro.core.transport.registry import backend, register_endpoint_kind
 
-__all__ = ["Design", "DESIGNS", "design_properties"]
+# Importing an implementation module registers its endpoint kind.
+import repro.core.mcast      # noqa: F401  (SR_UD_MC)
+import repro.core.read_rc    # noqa: F401  (RD_RC)
+import repro.core.sr_rc      # noqa: F401  (SR_RC)
+import repro.core.sr_ud      # noqa: F401  (SR_UD)
+import repro.core.write_rc   # noqa: F401  (WR_RC)
 
-
-_ENDPOINT_CLASSES: Dict[str, Tuple[Type[SendEndpoint], Type[ReceiveEndpoint]]] = {
-    "SR_UD": (SRUDSendEndpoint, SRUDReceiveEndpoint),
-    "SR_RC": (SRRCSendEndpoint, SRRCReceiveEndpoint),
-    "RD_RC": (ReadRCSendEndpoint, ReadRCReceiveEndpoint),
-}
-
-
-def register_endpoint_kind(kind: str, send_cls, recv_cls) -> None:
-    """Register an additional endpoint implementation (e.g. WR_RC)."""
-    _ENDPOINT_CLASSES[kind] = (send_cls, recv_cls)
+__all__ = ["Design", "DESIGNS", "design_properties", "register_endpoint_kind"]
 
 
 @dataclass(frozen=True)
@@ -43,24 +42,24 @@ class Design:
     """One point in the design space of Table 1."""
 
     name: str
-    endpoint_kind: str  # key into the endpoint-class registry
+    endpoint_kind: str  # key into the endpoint-backend registry
     multi_endpoint: bool
 
     @property
     def send_cls(self) -> Type[SendEndpoint]:
-        return _ENDPOINT_CLASSES[self.endpoint_kind][0]
+        return backend(self.endpoint_kind).send_cls
 
     @property
     def recv_cls(self) -> Type[ReceiveEndpoint]:
-        return _ENDPOINT_CLASSES[self.endpoint_kind][1]
+        return backend(self.endpoint_kind).recv_cls
 
     @property
     def uses_ud(self) -> bool:
-        return self.endpoint_kind in ("SR_UD", "SR_UD_MC")
+        return backend(self.endpoint_kind).uses_ud
 
     @property
     def one_sided(self) -> bool:
-        return self.endpoint_kind in ("RD_RC", "WR_RC")
+        return backend(self.endpoint_kind).one_sided
 
     def num_endpoints(self, threads: int) -> int:
         """Endpoints per operator: 1 (SE) or t (ME)."""
@@ -108,8 +107,8 @@ class Design:
                 else "Two-sided, flow control in software")
 
 
-#: the six designs of the paper, plus the future-work RDMA Write variants
-#: (added to the registry by :mod:`repro.core.write_rc` at import).
+#: the six designs of the paper, plus the future-work variants: the
+#: hardware-multicast MESQ/SR and the RDMA Write endpoint (§7).
 DESIGNS: Dict[str, Design] = {
     "MEMQ/RD": Design("MEMQ/RD", "RD_RC", multi_endpoint=True),
     "SEMQ/RD": Design("SEMQ/RD", "RD_RC", multi_endpoint=False),
@@ -117,38 +116,13 @@ DESIGNS: Dict[str, Design] = {
     "SEMQ/SR": Design("SEMQ/SR", "SR_RC", multi_endpoint=False),
     "MESQ/SR": Design("MESQ/SR", "SR_UD", multi_endpoint=True),
     "SESQ/SR": Design("SESQ/SR", "SR_UD", multi_endpoint=False),
+    "MESQ/SR+MC": Design("MESQ/SR+MC", "SR_UD_MC", multi_endpoint=True),
+    "MEMQ/WR": Design("MEMQ/WR", "WR_RC", multi_endpoint=True),
+    "SEMQ/WR": Design("SEMQ/WR", "WR_RC", multi_endpoint=False),
 }
 
 #: the order the paper lists the six designs in.
 PAPER_ORDER = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR", "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
-
-
-def _register_mcast_design() -> None:
-    """Add the hardware-multicast MESQ/SR variant (§7 future work)."""
-    from repro.core.mcast import (
-        McastSRUDReceiveEndpoint,
-        McastSRUDSendEndpoint,
-    )
-    register_endpoint_kind("SR_UD_MC", McastSRUDSendEndpoint,
-                           McastSRUDReceiveEndpoint)
-    DESIGNS["MESQ/SR+MC"] = Design("MESQ/SR+MC", "SR_UD_MC",
-                                   multi_endpoint=True)
-
-
-def _register_write_designs() -> None:
-    """Add the RDMA Write endpoint (§7 future work) to the registry."""
-    from repro.core.write_rc import (
-        WriteRCReceiveEndpoint,
-        WriteRCSendEndpoint,
-    )
-    register_endpoint_kind("WR_RC", WriteRCSendEndpoint,
-                           WriteRCReceiveEndpoint)
-    DESIGNS["MEMQ/WR"] = Design("MEMQ/WR", "WR_RC", multi_endpoint=True)
-    DESIGNS["SEMQ/WR"] = Design("SEMQ/WR", "WR_RC", multi_endpoint=False)
-
-
-_register_mcast_design()
-_register_write_designs()
 
 
 def design_properties(num_nodes: int, threads: int) -> List[dict]:

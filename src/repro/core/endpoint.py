@@ -23,6 +23,13 @@ Every endpoint participating in a query is identified by a unique integer
 (single-endpoint) configurations serialize their bookkeeping through a
 mutex, which is exactly the contention the SE designs trade resources for.
 
+This module defines the interface and the design-independent state
+(configuration, framing, stall accounting, the GETFREE/GETDATA queues).
+The transport mechanics the designs share — per-peer connection tables,
+the §4.4 credit schemes, buffer rings, completion dispatch, and the
+backend registry — live in :mod:`repro.core.transport`; concrete designs
+subclass the runtime bases there and supply only posting policy.
+
 Implementation style note: methods that may block are generator *process
 fragments* — callers invoke them as ``yield from endpoint.send(...)``
 inside a simulation process, mirroring how the real (blocking) C++ calls
@@ -39,6 +46,8 @@ from repro.memory import Buffer
 from repro.sim import Mutex, Notify, Queue
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
+
+from repro.core.transport.rings import charge_registration
 
 __all__ = [
     "DataState",
@@ -180,7 +189,35 @@ class _EndpointBase:
         self.net = ctx.config
         #: serializes bookkeeping when several threads share the endpoint.
         self.lock = Mutex(ctx.sim)
+        #: the main registered transmission/receive buffer pool.
+        self.pool = None
+        #: auxiliary registered pools (e.g. UD credit-datagram slots).
+        self.aux_pools: List = []
+        #: auxiliary registered regions (credit words, FreeArr/ValidArr).
+        self.aux_mrs: List = []
         ctx.telemetry.register_endpoint(self)
+
+    # -- introspection ------------------------------------------------------
+
+    def qps(self) -> List:
+        """Queue Pairs owned by this endpoint (Table 1 accounting)."""
+        qps = []
+        qp = getattr(self, "qp", None)
+        if qp is not None:
+            qps.append(qp)
+        conns = getattr(self, "conns", None)
+        if conns is not None:
+            qps.extend(conns.qps())
+        return qps
+
+    def registered_regions(self) -> List:
+        """Registered memory regions pinned by this endpoint (Fig 9b)."""
+        regions = []
+        if self.pool is not None:
+            regions.append(self.pool.mr)
+        regions.extend(self.aux_mrs)
+        regions.extend(pool.mr for pool in self.aux_pools)
+        return regions
 
     def _cpu(self, ns: float):
         """Charge scaled CPU time to the calling thread."""
@@ -197,11 +234,7 @@ class _EndpointBase:
     def _charge_registration(self, nbytes: int):
         """Process fragment: charge memory pin+register time for ``nbytes``
         (the region itself is created separately, e.g. by a BufferPool)."""
-        pages = max(1, -(-nbytes // self.net.page_size))
-        cost = (self.net.mr_register_base_ns
-                + pages * self.net.mr_register_ns_per_page)
-        self.ctx.mr_register_ns += cost
-        yield self.sim.timeout(cost)
+        yield from charge_registration(self.ctx, nbytes)
 
 
 class SendEndpoint(_EndpointBase):
@@ -338,6 +371,18 @@ class ReceiveEndpoint(_EndpointBase):
         raise NotImplementedError
 
     # -- shared internals ------------------------------------------------------
+
+    def _deliver(self, src_endpoint: int, remote_addr: int, local) -> None:
+        """Hand one received buffer to the application inbox.
+
+        The single receive-side instrumentation point: every transport
+        routes arriving data through here, so message/byte accounting is
+        uniform across designs.
+        """
+        self.messages_received += 1
+        self.bytes_received += local.length
+        self._inbox.put((DataState.MORE_DATA, src_endpoint, remote_addr,
+                         local))
 
     def _source_depleted(self, src_endpoint: int) -> None:
         """Mark one source finished; emit sentinels when all are done."""

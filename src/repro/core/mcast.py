@@ -20,10 +20,11 @@ end-of-stream detection work exactly as in the base design.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.core.endpoint import DataState, Frame, FrameCarrier
 from repro.core.sr_ud import SRUDReceiveEndpoint, SRUDSendEndpoint
+from repro.core.transport.registry import register_endpoint_kind
 from repro.memory import Buffer
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.constants import Opcode, mcast_ah
@@ -40,7 +41,7 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
     def setup(self, registry: EndpointRegistry):
         yield from super().setup(registry)
         # The endpoint id doubles as the MGID; receivers join it.
-        info = registry.lookup(("ep", self.endpoint_id))
+        info = registry.lookup_endpoint(self.endpoint_id)
         info["mgid"] = self.endpoint_id
 
     def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
@@ -53,12 +54,12 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
             return
         yield from self.lock.critical_section(
             self.net.cpu(self.net.endpoint_send_ns))
-        self._pending[buf] = 1 + (1 if me in dests else 0)
+        self._pending.add(buf, 1 + (1 if me in dests else 0))
         # Per-member flow control: every destination must have credit.
         for dest in dests:
-            yield from self._wait_credit(self._links[dest])
+            yield from self._wait_credit(self.conns[dest])
         for dest in dests:
-            self._links[dest].sent += 1
+            self.conns[dest].sent += 1
         frame = Frame(
             kind="data", state=state, src_endpoint=self.endpoint_id,
             seq=0, payload=buf.payload, length=buf.length,
@@ -82,7 +83,7 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
             self.qp.post_send(SendWR(
                 wr_id=("data", buf), opcode=Opcode.SEND,
                 buffer=FrameCarrier(frame), length=buf.length,
-                dest=self._links[me].ah,
+                dest=self.conns[me].ah,
             ))
             self.record_send(me, buf.length)
 
@@ -99,7 +100,13 @@ class McastSRUDReceiveEndpoint(SRUDReceiveEndpoint):
     def connect(self, registry: EndpointRegistry):
         yield from super().connect(registry)
         for _src_node, src_ep in self.sources:
-            info = registry.lookup(("ep", src_ep))
+            info = registry.lookup_endpoint(src_ep)
             mgid = info.get("mgid")
             if mgid is not None:
                 self.ctx.mcast_attach(mgid, self.qp)
+
+
+register_endpoint_kind(
+    "SR_UD_MC", McastSRUDSendEndpoint, McastSRUDReceiveEndpoint,
+    uses_ud=True,
+    description="MESQ/SR with native InfiniBand multicast (§7 future work)")

@@ -16,48 +16,46 @@ local buffer are both available.  A sender's buffer becomes reusable only
 once *every* member of the transmission group it was sent to has returned
 it — which is why this design starves for buffers under broadcast when
 any reader lags (§5.1.3).
+
+The circular-queue machinery (producer cursors, consumer boards, inlined
+ring writes) lives in the shared transport runtime; this module is the
+RDMA Read posting policy: what gets produced into which ring, and the
+read pump joining ValidArr with LocalArr.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.endpoint import (
     DataState,
     EndpointConfig,
     Frame,
-    ReceiveEndpoint,
-    SendEndpoint,
 )
-from repro.memory import Buffer, BufferPool
-from repro.verbs.cm import EndpointRegistry, connect_rc_pair
-from repro.verbs.constants import AddressHandle, Opcode, QPType
+from repro.core.transport.connections import (
+    PeerConnection,
+    rc_connect_receivers,
+    rc_connect_senders,
+)
+from repro.core.transport.credit import RingBoard
+from repro.core.transport.dispatch import CompletionDispatcher
+from repro.core.transport.registry import register_endpoint_kind
+from repro.core.transport.rings import RingCursor, post_ring_write
+from repro.core.transport.runtime import (
+    RuntimeReceiveEndpoint,
+    RuntimeSendEndpoint,
+)
+from repro.memory import Buffer
+from repro.verbs.cm import EndpointRegistry
+from repro.verbs.constants import Opcode, QPType
 from repro.verbs.device import VerbsContext
 from repro.verbs.wr import SendWR
 
 __all__ = ["ReadRCSendEndpoint", "ReadRCReceiveEndpoint"]
 
 
-class _SendLink:
-    """Sender-side state per destination: QP + remote ValidArr cursor."""
-
-    __slots__ = ("dest_node", "qp", "valid_base", "valid_cap", "prod")
-
-    def __init__(self, dest_node: int):
-        self.dest_node = dest_node
-        self.qp = None
-        self.valid_base = 0
-        self.valid_cap = 0
-        self.prod = 0
-
-    def next_valid_slot(self) -> int:
-        slot = self.valid_base + (self.prod % self.valid_cap) * 8
-        self.prod += 1
-        return slot
-
-
-class ReadRCSendEndpoint(SendEndpoint):
+class ReadRCSendEndpoint(RuntimeSendEndpoint):
     """Passive SEND endpoint for the RDMA Read design (Figure 7a)."""
 
     transport = "MQ/RD"
@@ -65,85 +63,52 @@ class ReadRCSendEndpoint(SendEndpoint):
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig, destinations: Sequence[int],
                  num_groups: int, peers: Dict[int, int]):
-        super().__init__(ctx, endpoint_id, config, destinations, num_groups)
-        self.peers = dict(peers)
-        self._links: Dict[int, _SendLink] = {}
-        #: buffer address -> outstanding FreeArr notifications (Alg 3 l.13).
-        self._pending: Dict[int, int] = {}
-        self.pool: BufferPool = None
+        super().__init__(ctx, endpoint_id, config, destinations,
+                         num_groups, peers)
         self._final_bufs: Dict[int, Buffer] = {}
-        self.cq = None
-        self._free_mr = None
-
-    @property
-    def _pool_buffers(self) -> int:
-        return (self.config.buffers_per_connection * self.num_groups *
-                self.config.threads_per_endpoint)
+        self._free_board: RingBoard = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         for dest in self.destinations:
-            link = _SendLink(dest)
-            link.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
-            self._links[dest] = link
-        total = self._pool_buffers + len(self.destinations)  # + final markers
-        yield from self._charge_registration(total * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total, self.config.message_size)
-        for buf in self.pool.buffers[:self._pool_buffers]:
-            self._free.put(buf)
+            conn = self.conns.add(dest, PeerConnection(dest))
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+        # Reserve one extra buffer per destination for the final markers.
+        yield from self.provision_send_pool(extra=len(self.destinations))
         for dest, buf in zip(self.destinations,
-                             self.pool.buffers[self._pool_buffers:]):
+                             self.pool.buffers[self.send_pool_buffers:]):
             self._final_bufs[dest] = buf
         self._final_addrs = {buf.addr for buf in self._final_bufs.values()}
         # FreeArr: one circular region per destination, written remotely.
-        cap = self._free_cap
-        self._free_mr = yield from self.ctx.reg_mr_timed(
-            8 * cap * len(self.destinations))
-        self._free_base = {
-            dest: self._free_mr.addr + 8 * cap * i
-            for i, dest in enumerate(self.destinations)
-        }
-        self._free_mr.on_write.append(self._on_free_write)
-        registry.publish(("ep", self.endpoint_id), {
+        self._free_board = yield from RingBoard.install(
+            self, self.destinations, self._free_cap, self._on_free_value)
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
-            "qpn_by_dest": {d: l.qp.qpn for d, l in self._links.items()},
-            "freearr_base_by_dest": self._free_base,
-            "freearr_cap": cap,
+            "qpn_by_dest": {d: c.qp.qpn for d, c in self.conns.items()},
+            "freearr_base_by_dest": self._free_board.base_by_key,
+            "freearr_cap": self._free_cap,
         })
 
     @property
     def _free_cap(self) -> int:
         """FreeArr slots per destination: every buffer could be pending."""
-        return self._pool_buffers + 2
+        return self.send_pool_buffers + 2
 
     def connect(self, registry: EndpointRegistry):
-        for dest in self.destinations:
-            link = self._links[dest]
-            info = registry.lookup(("ep", self.peers[dest]))
-            remote_qpn = info["qpn_by_source"][self.endpoint_id]
-            yield from connect_rc_pair(
-                self.ctx, link.qp, AddressHandle(dest, remote_qpn))
-            link.valid_base = info["validarr_base_by_source"][self.endpoint_id]
-            link.valid_cap = info["validarr_cap"]
-        self.sim.process(
-            self._drain_cq(), name=f"rd-send-cq-{self.endpoint_id}")
+        def bind(conn, info):
+            conn.valid = RingCursor(
+                info["validarr_base_by_source"][self.endpoint_id],
+                info["validarr_cap"])
 
-    def _on_free_write(self, addr: int, value: int) -> None:
+        yield from rc_connect_senders(self, registry, bind)
+        # The sender's only active work is draining Write completions.
+        CompletionDispatcher(self).start(f"rd-send-cq-{self.endpoint_id}")
+
+    def _on_free_value(self, dest: int, value: int) -> None:
         """A destination returned a buffer through FreeArr (Alg 3 l.8-14)."""
-        if value == 0:
-            return
-        self._pending[value] -= 1
-        if self._pending[value] == 0:
-            del self._pending[value]
+        if self._pending.complete(value):
             if value not in self._final_addrs:
-                buf = self.pool.at(value)
-                buf.reset()
-                self._free.put(buf)
-
-    def _drain_cq(self):
-        """The sender's only active work: draining Write completions."""
-        while True:
-            yield self.cq.wait()
+                self.recycle(self.pool.at(value))
 
     # -- SEND (Alg 3, lines 1-5) ------------------------------------------------
 
@@ -157,58 +122,26 @@ class ReadRCSendEndpoint(SendEndpoint):
         # Encode the metadata in the buffer itself (Alg 3 line 2): a
         # remote RDMA Read of buf.addr observes the frame.
         buf.mr.set_object(buf.addr, frame)
-        self._pending[buf.addr] = len(dests)
+        self._pending.add(buf.addr, len(dests))
         for dest in dests:
-            link = self._links[dest]
+            conn = self.conns[dest]
             yield self._cpu(self.net.post_wr_ns)
-            link.qp.post_send(SendWR(
-                wr_id=("valid", dest), opcode=Opcode.WRITE,
-                remote_addr=link.next_valid_slot(), value=buf.addr,
-                inline=True, signaled=False,
-            ))
+            post_ring_write(conn.qp, conn.valid, buf.addr, ("valid", dest))
             self.record_send(dest, buf.length)
 
     def _send_finals(self):
         for dest in self.destinations:
-            link = self._links[dest]
+            conn = self.conns[dest]
             buf = self._final_bufs[dest]
             frame = Frame(kind="final", state=DataState.DEPLETED,
                           src_endpoint=self.endpoint_id, remote_addr=buf.addr)
             buf.mr.set_object(buf.addr, frame)
-            self._pending[buf.addr] = 1
+            self._pending.add(buf.addr, 1)
             yield self._cpu(self.net.post_wr_ns)
-            link.qp.post_send(SendWR(
-                wr_id=("valid", dest), opcode=Opcode.WRITE,
-                remote_addr=link.next_valid_slot(), value=buf.addr,
-                inline=True, signaled=False,
-            ))
+            post_ring_write(conn.qp, conn.valid, buf.addr, ("valid", dest))
 
 
-class _RecvLink:
-    """Receiver-side state per source (Figure 7b)."""
-
-    __slots__ = ("src_node", "src_endpoint", "qp", "local_arr",
-                 "pending_remote", "free_base", "free_cap", "free_prod")
-
-    def __init__(self, src_node: int, src_endpoint: int):
-        self.src_node = src_node
-        self.src_endpoint = src_endpoint
-        self.qp = None
-        #: LocalArr: unused registered destination buffers (a stack).
-        self.local_arr: List[Buffer] = []
-        #: remote buffer addresses produced into ValidArr, not yet read.
-        self.pending_remote: Deque[int] = deque()
-        self.free_base = 0
-        self.free_cap = 0
-        self.free_prod = 0
-
-    def next_free_slot(self) -> int:
-        slot = self.free_base + (self.free_prod % self.free_cap) * 8
-        self.free_prod += 1
-        return slot
-
-
-class ReadRCReceiveEndpoint(ReceiveEndpoint):
+class ReadRCReceiveEndpoint(RuntimeReceiveEndpoint):
     """Active RECEIVE endpoint for the RDMA Read design (Figure 7b)."""
 
     transport = "MQ/RD"
@@ -217,43 +150,34 @@ class ReadRCReceiveEndpoint(ReceiveEndpoint):
                  config: EndpointConfig,
                  sources: Sequence[Tuple[int, int]]):
         super().__init__(ctx, endpoint_id, config, sources)
-        self._links: Dict[int, _RecvLink] = {}
-        self.cq = None
-        self.pool: BufferPool = None
-        self._valid_mr = None
+        self._valid_board: RingBoard = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         per_link = self.config.buffers_per_link
-        total = per_link * max(1, len(self.sources))
-        yield from self._charge_registration(total * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total, self.config.message_size)
+        yield from self.provision_recv_pool()
         # ValidArr: one circular region per source, written remotely; must
         # hold every buffer the sender could have outstanding plus finals.
-        cap = self._valid_cap
-        self._valid_mr = yield from self.ctx.reg_mr_timed(
-            8 * cap * max(1, len(self.sources)))
-        valid_base = {}
+        self._valid_board = yield from RingBoard.install(
+            self, [src_ep for _node, src_ep in self.sources],
+            self._valid_cap, self._on_valid_value, min_one=True)
         next_buffer = 0
-        self._link_by_valid_region = []
-        for i, (src_node, src_ep) in enumerate(self.sources):
-            link = _RecvLink(src_node, src_ep)
-            link.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+        for src_node, src_ep in self.sources:
+            conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            #: LocalArr: unused registered destination buffers (a stack).
+            conn.local_arr = []
+            conn.pending_remote = deque()
             for _ in range(per_link):
-                link.local_arr.append(self.pool.buffers[next_buffer])
+                conn.local_arr.append(self.pool.buffers[next_buffer])
                 next_buffer += 1
-            base = self._valid_mr.addr + 8 * cap * i
-            valid_base[src_ep] = base
-            self._link_by_valid_region.append((base, base + 8 * cap, link))
-            self._links[src_ep] = link
-        self._valid_mr.on_write.append(self._on_valid_write)
-        registry.publish(("ep", self.endpoint_id), {
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn_by_source": {
-                src_ep: l.qp.qpn for src_ep, l in self._links.items()
+                src_ep: c.qp.qpn for src_ep, c in self.conns.items()
             },
-            "validarr_base_by_source": valid_base,
-            "validarr_cap": cap,
+            "validarr_base_by_source": self._valid_board.base_by_key,
+            "validarr_cap": self._valid_cap,
         })
 
     @property
@@ -266,79 +190,63 @@ class ReadRCReceiveEndpoint(ReceiveEndpoint):
         return sender_pool * 64 + 4
 
     def connect(self, registry: EndpointRegistry):
-        for src_node, src_ep in self.sources:
-            link = self._links[src_ep]
-            info = registry.lookup(("ep", src_ep))
-            remote_qpn = info["qpn_by_dest"][self.ctx.node_id]
-            yield from connect_rc_pair(
-                self.ctx, link.qp, AddressHandle(src_node, remote_qpn))
-            link.free_base = info["freearr_base_by_dest"][self.ctx.node_id]
-            link.free_cap = info["freearr_cap"]
-        self.sim.process(
-            self._read_completions(), name=f"rd-recv-cq-{self.endpoint_id}")
+        def bind(conn, info):
+            conn.free = RingCursor(
+                info["freearr_base_by_dest"][self.ctx.node_id],
+                info["freearr_cap"])
+
+        yield from rc_connect_receivers(self, registry, bind)
+        CompletionDispatcher(self).on(Opcode.READ, self._on_read) \
+            .start(f"rd-recv-cq-{self.endpoint_id}")
 
     # -- the read pump (Alg 3, GETDATA lines 19-25) ------------------------------
 
-    def _on_valid_write(self, addr: int, value: int) -> None:
-        if value == 0:
-            return
-        for lo, hi, link in self._link_by_valid_region:
-            if lo <= addr < hi:
-                link.pending_remote.append(value)
-                self._pump(link)
-                return
+    def _on_valid_value(self, src_ep: int, value: int) -> None:
+        conn = self.conns[src_ep]
+        conn.pending_remote.append(value)
+        self._pump(conn)
 
-    def _pump(self, link: _RecvLink) -> None:
+    def _pump(self, conn: PeerConnection) -> None:
         """Issue RDMA Reads while remote addresses and local buffers last."""
-        while link.pending_remote and link.local_arr:
-            remote_addr = link.pending_remote.popleft()
-            local = link.local_arr.pop()
-            link.qp.post_send(SendWR(
-                wr_id=("read", link.src_endpoint, remote_addr, local),
+        while conn.pending_remote and conn.local_arr:
+            remote_addr = conn.pending_remote.popleft()
+            local = conn.local_arr.pop()
+            conn.qp.post_send(SendWR(
+                wr_id=("read", conn.endpoint, remote_addr, local),
                 opcode=Opcode.READ, buffer=local,
                 length=self.config.message_size, remote_addr=remote_addr,
             ))
 
-    def _read_completions(self):
-        while True:
-            wc = yield self.cq.wait()
-            if wc.opcode is not Opcode.READ:
-                continue
-            _tag, src_ep, remote_addr, local = wc.wr_id
-            frame: Frame = local.payload
-            link = self._links[src_ep]
-            if frame.kind == "final":
-                # Return the marker buffer and recycle our local one.
-                link.qp.post_send(SendWR(
-                    wr_id=("free", src_ep), opcode=Opcode.WRITE,
-                    remote_addr=link.next_free_slot(), value=remote_addr,
-                    inline=True, signaled=False,
-                ))
-                local.reset()
-                link.local_arr.append(local)
-                self._pump(link)
-                self._source_depleted(src_ep)
-            else:
-                self.messages_received += 1
-                self.bytes_received += frame.length
-                local.payload = frame.payload
-                local.length = frame.length
-                self._inbox.put((
-                    DataState.MORE_DATA, src_ep, remote_addr, local,
-                ))
+    def _on_read(self, wc) -> None:
+        _tag, src_ep, remote_addr, local = wc.wr_id
+        frame: Frame = local.payload
+        conn = self.conns[src_ep]
+        if frame.kind == "final":
+            # Return the marker buffer and recycle our local one.
+            post_ring_write(conn.qp, conn.free, remote_addr, ("free", src_ep))
+            local.reset()
+            conn.local_arr.append(local)
+            self._pump(conn)
+            self._source_depleted(src_ep)
+        else:
+            local.payload = frame.payload
+            local.length = frame.length
+            self._deliver(src_ep, remote_addr, local)
 
     # -- RELEASE (Alg 3, lines 16-18) ----------------------------------------------
 
     def release(self, remote_addr: int, local: Buffer, src: int):
         yield from self.lock.critical_section(
             self.net.cpu(self.net.post_wr_ns))
-        link = self._links[src]
+        conn = self.conns[src]
         yield self._cpu(self.net.post_wr_ns)
-        link.qp.post_send(SendWR(
-            wr_id=("free", src), opcode=Opcode.WRITE,
-            remote_addr=link.next_free_slot(), value=remote_addr,
-            inline=True, signaled=False,
-        ))
+        post_ring_write(conn.qp, conn.free, remote_addr, ("free", src))
         local.reset()
-        link.local_arr.append(local)
-        self._pump(link)
+        conn.local_arr.append(local)
+        self._pump(conn)
+
+
+register_endpoint_kind(
+    "RD_RC", ReadRCSendEndpoint, ReadRCReceiveEndpoint, one_sided=True,
+    description="one-sided RDMA Read over RC, FreeArr/ValidArr "
+                "circular queues (§4.4.3)")

@@ -14,265 +14,144 @@ polling.  Senders and receivers are synchronized through the paper's
 Because credit is issued strictly after the Receive is posted, a Send can
 never arrive at a receiver that has nowhere to put it — the condition the
 RC transport punishes with receiver-not-ready stalls.
+
+The credited send/release algorithms live in the shared transport runtime
+(:mod:`repro.core.transport.runtime`); this module is the RC posting
+policy: per-destination RC QPs, Send WRs for data, credit words written
+back by inlined RDMA Writes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
-
-from repro.core.endpoint import (
-    DataState,
-    EndpointConfig,
-    Frame,
-    FrameCarrier,
-    ReceiveEndpoint,
-    SendEndpoint,
+from repro.core.endpoint import Frame, FrameCarrier
+from repro.core.transport.connections import (
+    PeerConnection,
+    rc_connect_receivers,
+    rc_connect_senders,
 )
-from repro.memory import Buffer, BufferPool
+from repro.core.transport.credit import (
+    CreditWordBoard,
+    post_credit_word,
+)
+from repro.core.transport.dispatch import CompletionDispatcher
+from repro.core.transport.registry import register_endpoint_kind
+from repro.core.transport.runtime import (
+    CreditedReceiveEndpoint,
+    CreditedSendEndpoint,
+)
+from repro.memory import Buffer
 from repro.sim import Notify
-from repro.verbs.cm import EndpointRegistry, connect_rc_pair
-from repro.verbs.constants import AddressHandle, Opcode, QPType
-from repro.verbs.device import VerbsContext
-from repro.verbs.wr import RecvWR, SendWR
+from repro.verbs.cm import EndpointRegistry
+from repro.verbs.constants import Opcode, QPType
+from repro.verbs.wr import SendWR
 
 __all__ = ["SRRCSendEndpoint", "SRRCReceiveEndpoint"]
 
 
-class _SendConnection:
-    """Sender-side state for one destination (Figure 5a)."""
-
-    __slots__ = ("dest_node", "qp", "sent", "credit", "credit_addr", "notify")
-
-    def __init__(self, dest_node: int, notify: Notify):
-        self.dest_node = dest_node
-        self.qp = None
-        self.sent = 0
-        self.credit = 0
-        self.credit_addr = 0
-        self.notify = notify
-
-
-class SRRCSendEndpoint(SendEndpoint):
+class SRRCSendEndpoint(CreditedSendEndpoint):
     """SEND endpoint using RDMA Send over Reliable Connection."""
 
     transport = "MQ/SR"
 
-    def __init__(self, ctx: VerbsContext, endpoint_id: int,
-                 config: EndpointConfig, destinations: Sequence[int],
-                 num_groups: int, peers: Dict[int, int]):
-        super().__init__(ctx, endpoint_id, config, destinations, num_groups)
-        #: destination node id -> receiving endpoint id.
-        self.peers = dict(peers)
-        self._conns: Dict[int, _SendConnection] = {}
-        self._pending: Dict[Buffer, int] = {}
-        self.pool: BufferPool = None
-        self.cq = None
-        self._credit_mr = None
-
-    # -- lifecycle -------------------------------------------------------------
-
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         for dest in self.destinations:
-            self._conns[dest] = _SendConnection(dest, Notify(self.sim))
-            self._conns[dest].qp = self.ctx.create_qp(
-                QPType.RC, self.cq, self.cq)
-        pool_buffers = self.config.buffers_per_connection * \
-            self.num_groups * self.config.threads_per_endpoint
-        yield from self._charge_registration(
-            pool_buffers * self.config.message_size)
-        self.pool = BufferPool(self.ctx, pool_buffers, self.config.message_size)
-        for buf in self.pool.buffers:
-            self._free.put(buf)
+            conn = self.conns.add(dest, PeerConnection(dest))
+            conn.notify = Notify(self.sim)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+        yield from self.provision_send_pool()
         # One credit word per destination, written remotely by receivers.
-        self._credit_mr = yield from self.ctx.reg_mr_timed(
-            8 * len(self.destinations))
-        addr_by_dest = {}
-        for i, dest in enumerate(self.destinations):
-            addr = self._credit_mr.addr + 8 * i
-            self._conns[dest].credit_addr = addr
-            addr_by_dest[dest] = addr
-        self._credit_mr.on_write.append(self._on_credit_write)
-        registry.publish(("ep", self.endpoint_id), {
+        addr_by_dest = yield from CreditWordBoard.install(self)
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
-            "qpn_by_dest": {d: c.qp.qpn for d, c in self._conns.items()},
+            "qpn_by_dest": {d: c.qp.qpn for d, c in self.conns.items()},
             "credit_addr_by_dest": addr_by_dest,
         })
 
     def connect(self, registry: EndpointRegistry):
-        for dest in self.destinations:
-            conn = self._conns[dest]
-            info = registry.lookup(("ep", self.peers[dest]))
-            remote_qpn = info["qpn_by_source"][self.endpoint_id]
-            yield from connect_rc_pair(
-                self.ctx, conn.qp, AddressHandle(dest, remote_qpn))
+        def bind(conn, info):
             conn.credit = info["initial_credit"]
-        self.sim.process(self._dispatcher(), name=f"sr-rc-send-disp-{self.endpoint_id}")
 
-    def _on_credit_write(self, addr: int, value: int) -> None:
-        index = (addr - self._credit_mr.addr) // 8
-        conn = self._conns[self.destinations[index]]
-        if value > conn.credit:
-            conn.credit = value
-            conn.notify.notify_all()
+        yield from rc_connect_senders(self, registry, bind)
+        CompletionDispatcher(self).on(Opcode.SEND, self.data_recycler()) \
+            .start(f"sr-rc-send-disp-{self.endpoint_id}")
 
-    # -- the SEND/GETFREE interface ------------------------------------------------
+    # -- RC posting policy -------------------------------------------------
 
-    def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
-        # Per-call bookkeeping is serialized: this is the shared-endpoint
-        # contention the SE configurations pay for.
-        yield from self.lock.critical_section(
-            self.net.cpu(self.net.endpoint_send_ns))
-        self._pending[buf] = len(dests)
-        for dest in dests:
-            conn = self._conns[dest]
-            yield from self._wait_credit(conn)
-            conn.sent += 1
-            frame = Frame(
-                kind="data", state=state, src_endpoint=self.endpoint_id,
-                seq=conn.sent, payload=buf.payload, length=buf.length,
-                remote_addr=buf.addr,
-            )
-            yield self._cpu(self.net.post_wr_ns)
-            conn.qp.post_send(SendWR(
-                wr_id=("data", buf), opcode=Opcode.SEND,
-                buffer=FrameCarrier(frame), length=buf.length,
-            ))
-            self.record_send(dest, buf.length)
+    def _post_data(self, conn: PeerConnection, buf: Buffer,
+                   frame: Frame) -> None:
+        conn.qp.post_send(SendWR(
+            wr_id=("data", buf), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=buf.length,
+        ))
 
-    def _send_finals(self):
-        for dest in self.destinations:
-            conn = self._conns[dest]
-            yield from self._wait_credit(conn)
-            conn.sent += 1
-            frame = Frame(
-                kind="final", state=DataState.DEPLETED,
-                src_endpoint=self.endpoint_id, seq=conn.sent,
-                total=conn.sent,
-            )
-            yield self._cpu(self.net.post_wr_ns)
-            conn.qp.post_send(SendWR(
-                wr_id=("final", dest), opcode=Opcode.SEND,
-                buffer=FrameCarrier(frame), length=0, signaled=False,
-            ))
-
-    def _dispatcher(self):
-        """Drains send completions and recycles transmission buffers."""
-        while True:
-            wc = yield self.cq.wait()
-            kind, ref = wc.wr_id
-            if kind != "data":
-                continue
-            self._pending[ref] -= 1
-            if self._pending[ref] == 0:
-                del self._pending[ref]
-                ref.reset()
-                self._free.put(ref)
+    def _post_final(self, conn: PeerConnection, dest: int,
+                    frame: Frame) -> None:
+        conn.qp.post_send(SendWR(
+            wr_id=("final", dest), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=0, signaled=False,
+        ))
 
 
-class _RecvConnection:
-    """Receiver-side state for one source connection (Figure 5b)."""
-
-    __slots__ = ("src_node", "src_endpoint", "qp", "posted", "credit_addr")
-
-    def __init__(self, src_node: int, src_endpoint: int):
-        self.src_node = src_node
-        self.src_endpoint = src_endpoint
-        self.qp = None
-        self.posted = 0
-        self.credit_addr = 0
-
-
-class SRRCReceiveEndpoint(ReceiveEndpoint):
+class SRRCReceiveEndpoint(CreditedReceiveEndpoint):
     """RECEIVE endpoint using RDMA Receive over Reliable Connection."""
 
     transport = "MQ/SR"
 
-    def __init__(self, ctx: VerbsContext, endpoint_id: int,
-                 config: EndpointConfig,
-                 sources: Sequence[Tuple[int, int]]):
-        super().__init__(ctx, endpoint_id, config, sources)
-        self._conns: Dict[int, _RecvConnection] = {}
-        self.cq = None
-        self.pool: BufferPool = None
-
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         per_link = self.config.buffers_per_link
-        total_buffers = per_link * max(1, len(self.sources))
-        yield from self._charge_registration(
-            total_buffers * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total_buffers, self.config.message_size)
+        yield from self.provision_recv_pool()
         next_buffer = 0
         for src_node, src_ep in self.sources:
-            conn = _RecvConnection(src_node, src_ep)
+            conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
             conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
-            self._conns[src_ep] = conn
             for _ in range(per_link):
                 buf = self.pool.buffers[next_buffer]
                 next_buffer += 1
-                conn.qp.post_recv(RecvWR(
-                    wr_id=buf, buffer=buf, length=self.config.message_size))
+                conn.qp.post_recv_buffer(buf, self.config.message_size)
                 conn.posted += 1
-        registry.publish(("ep", self.endpoint_id), {
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn_by_source": {
-                src_ep: c.qp.qpn for src_ep, c in self._conns.items()
+                src_ep: c.qp.qpn for src_ep, c in self.conns.items()
             },
             "initial_credit": per_link,
         })
 
     def connect(self, registry: EndpointRegistry):
-        for src_node, src_ep in self.sources:
-            conn = self._conns[src_ep]
-            info = registry.lookup(("ep", src_ep))
-            remote_qpn = info["qpn_by_dest"][self.ctx.node_id]
-            yield from connect_rc_pair(
-                self.ctx, conn.qp, AddressHandle(src_node, remote_qpn))
+        def bind(conn, info):
             conn.credit_addr = info["credit_addr_by_dest"][self.ctx.node_id]
-        self.sim.process(
-            self._dispatcher(), name=f"sr-rc-recv-disp-{self.endpoint_id}")
 
-    def _dispatcher(self):
-        """Routes receive completions into the application inbox."""
-        while True:
-            wc = yield self.cq.wait()
-            if wc.opcode is not Opcode.RECV:
-                continue
-            buf: Buffer = wc.wr_id
-            frame: Frame = buf.payload
-            if frame.kind == "data":
-                self.messages_received += 1
-                self.bytes_received += frame.length
-                buf.payload = frame.payload
-                buf.length = frame.length
-                self._inbox.put((
-                    DataState.MORE_DATA, frame.src_endpoint,
-                    frame.remote_addr, buf,
-                ))
-            elif frame.kind == "final":
-                # Repost the consumed Receive, without issuing credit: the
-                # stream has ended and the sender needs none.
-                conn = self._conns[frame.src_endpoint]
-                buf.reset()
-                conn.qp.post_recv(RecvWR(
-                    wr_id=buf, buffer=buf, length=self.config.message_size))
-                self._source_depleted(frame.src_endpoint)
+        yield from rc_connect_receivers(self, registry, bind)
+        CompletionDispatcher(self).on(Opcode.RECV, self._on_receive) \
+            .start(f"sr-rc-recv-disp-{self.endpoint_id}")
 
-    def release(self, remote_addr: int, local: Buffer, src: int):
-        yield from self.lock.critical_section(
-            self.net.cpu(self.net.post_wr_ns))
-        conn = self._conns[src]
-        local.reset()
-        conn.qp.post_recv(RecvWR(
-            wr_id=local, buffer=local, length=self.config.message_size))
-        conn.posted += 1
-        if conn.posted % self.config.credit_frequency == 0:
-            # Absolute credit keeps the protocol stateless; inlining the
-            # value into the WQE saves the payload DMA fetch [16].
-            yield self._cpu(self.net.post_wr_ns)
-            conn.qp.post_send(SendWR(
-                wr_id=("credit", src), opcode=Opcode.WRITE,
-                remote_addr=conn.credit_addr, value=conn.posted,
-                inline=True, signaled=False,
-            ))
+    def _on_receive(self, wc) -> None:
+        """Route one receive completion into the application inbox."""
+        buf: Buffer = wc.wr_id
+        frame: Frame = buf.payload
+        if frame.kind == "data":
+            buf.payload = frame.payload
+            buf.length = frame.length
+            self._deliver(frame.src_endpoint, frame.remote_addr, buf)
+        elif frame.kind == "final":
+            # Repost the consumed Receive, without issuing credit: the
+            # stream has ended and the sender needs none.
+            conn = self.conns[frame.src_endpoint]
+            buf.reset()
+            conn.qp.post_recv_buffer(buf, self.config.message_size)
+            self._source_depleted(frame.src_endpoint)
+
+    # -- RC posting policy -------------------------------------------------
+
+    def _repost(self, conn: PeerConnection, local: Buffer) -> None:
+        conn.qp.post_recv_buffer(local, self.config.message_size)
+
+    def _return_credit(self, conn: PeerConnection) -> None:
+        post_credit_word(conn)
+
+
+register_endpoint_kind(
+    "SR_RC", SRRCSendEndpoint, SRRCReceiveEndpoint,
+    description="Send/Receive over RC, stateless credit (§4.4.1)")

@@ -17,50 +17,47 @@ scale (Table 1, Figs 10-11).  The price is software error handling:
   timeout for stragglers, and declares a network error (query restart)
   if they never reconcile — the set-oriented insight that lets a database
   use UD without a reorder buffer (§1, §4.4.2).
+
+The credited send/release algorithms live in the shared transport runtime
+(:mod:`repro.core.transport.runtime`); this module is the UD posting
+policy: one shared QP, address handles per peer, credit datagrams, and
+the message-counting end-of-stream machinery.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.endpoint import (
-    DataState,
     EndpointConfig,
     Frame,
     FrameCarrier,
-    ReceiveEndpoint,
-    SendEndpoint,
     ShuffleNetworkError,
 )
-from repro.memory import Buffer, BufferPool
+from repro.core.transport.connections import PeerConnection
+from repro.core.transport.credit import (
+    CREDIT_MSG_BYTES,
+    CreditDatagramPort,
+    grant_credit,
+)
+from repro.core.transport.dispatch import CompletionDispatcher
+from repro.core.transport.registry import register_endpoint_kind
+from repro.core.transport.runtime import (
+    CreditedReceiveEndpoint,
+    CreditedSendEndpoint,
+    ensure_ud_message_size,
+)
+from repro.memory import Buffer
 from repro.sim import Notify
 from repro.verbs.cm import EndpointRegistry, create_ah, setup_ud_qp
-from repro.verbs.constants import AddressHandle, Opcode, QPType
+from repro.verbs.constants import Opcode, QPType
 from repro.verbs.device import VerbsContext
-from repro.verbs.wr import RecvWR, SendWR
+from repro.verbs.wr import SendWR
 
 __all__ = ["SRUDSendEndpoint", "SRUDReceiveEndpoint"]
 
-#: wire size of a credit-return datagram (header-only message).
-CREDIT_MSG_BYTES = 16
-#: credit-receive slots the sender provisions per destination.
-CREDIT_RECV_SLOTS = 8
 
-
-class _SendLink:
-    """Sender-side state for one destination (all sharing one QP)."""
-
-    __slots__ = ("dest_node", "ah", "sent", "credit", "notify")
-
-    def __init__(self, dest_node: int, notify: Notify):
-        self.dest_node = dest_node
-        self.ah: Optional[AddressHandle] = None
-        self.sent = 0
-        self.credit = 0
-        self.notify = notify
-
-
-class SRUDSendEndpoint(SendEndpoint):
+class SRUDSendEndpoint(CreditedSendEndpoint):
     """SEND endpoint using RDMA Send over Unreliable Datagram."""
 
     transport = "SQ/SR"
@@ -68,139 +65,72 @@ class SRUDSendEndpoint(SendEndpoint):
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig, destinations: Sequence[int],
                  num_groups: int, peers: Dict[int, int]):
-        if config.message_size > ctx.config.mtu:
-            raise ValueError(
-                f"UD message size {config.message_size} exceeds the MTU "
-                f"{ctx.config.mtu} (§2.2.2)"
-            )
-        super().__init__(ctx, endpoint_id, config, destinations, num_groups)
-        self.peers = dict(peers)
-        self._links: Dict[int, _SendLink] = {}
-        #: receiving endpoint id -> link (credit datagrams carry the
+        ensure_ud_message_size(ctx, config)
+        super().__init__(ctx, endpoint_id, config, destinations,
+                         num_groups, peers)
+        #: receiving endpoint id -> connection (credit datagrams carry the
         #: receiver's endpoint id, not the node id).
-        self._link_by_peer: Dict[int, _SendLink] = {}
-        self._pending: Dict[Buffer, int] = {}
+        self._conn_by_peer: Dict[int, PeerConnection] = {}
         self.qp = None
-        self.cq = None
-        self.pool: BufferPool = None
-        self._credit_pool: BufferPool = None
+        self._credit_in: CreditDatagramPort = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         self.qp = self.ctx.create_qp(QPType.UD, self.cq, self.cq)
         yield from setup_ud_qp(self.ctx, self.qp)
         for dest in self.destinations:
-            self._links[dest] = _SendLink(dest, Notify(self.sim))
-        pool_buffers = self.config.buffers_per_connection * \
-            self.num_groups * self.config.threads_per_endpoint
-        yield from self._charge_registration(
-            pool_buffers * self.config.message_size)
-        self.pool = BufferPool(self.ctx, pool_buffers, self.config.message_size)
-        for buf in self.pool.buffers:
-            self._free.put(buf)
+            conn = self.conns.add(dest, PeerConnection(dest))
+            conn.notify = Notify(self.sim)
+        yield from self.provision_send_pool()
         # Small receive slots for incoming credit datagrams.
-        credit_slots = CREDIT_RECV_SLOTS * max(1, len(self.destinations))
-        self._credit_pool = BufferPool(self.ctx, credit_slots, CREDIT_MSG_BYTES)
-        for buf in self._credit_pool.buffers:
-            self.qp.post_recv(RecvWR(wr_id=buf, buffer=buf,
-                                     length=CREDIT_MSG_BYTES))
-        registry.publish(("ep", self.endpoint_id), {
+        self._credit_in = CreditDatagramPort(self, len(self.destinations))
+        self._credit_in.post_recv_slots()
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn": self.qp.qpn,
         })
 
     def connect(self, registry: EndpointRegistry):
         for dest in self.destinations:
-            link = self._links[dest]
-            info = registry.lookup(("ep", self.peers[dest]))
-            link.ah = yield from create_ah(self.ctx, dest, info["qpn"])
-            link.credit = info["initial_credit"]
-            self._link_by_peer[self.peers[dest]] = link
-        self.sim.process(
-            self._dispatcher(), name=f"sr-ud-send-disp-{self.endpoint_id}")
+            conn = self.conns[dest]
+            info = registry.lookup_endpoint(self.peers[dest])
+            conn.ah = yield from create_ah(self.ctx, dest, info["qpn"])
+            conn.credit = info["initial_credit"]
+            self._conn_by_peer[self.peers[dest]] = conn
+        CompletionDispatcher(self) \
+            .on(Opcode.SEND, self.data_recycler()) \
+            .on(Opcode.RECV, self._on_credit) \
+            .start(f"sr-ud-send-disp-{self.endpoint_id}")
 
-    # -- data path -----------------------------------------------------------
+    def _on_credit(self, wc) -> None:
+        """Apply a credit-datagram arrival and recycle its receive slot."""
+        buf: Buffer = wc.wr_id
+        frame: Frame = buf.payload
+        if frame.kind == "credit":
+            conn = self._conn_by_peer.get(frame.src_endpoint)
+            if conn is not None:
+                grant_credit(conn, frame.credit)
+        self._credit_in.repost(buf)
 
-    def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
-        yield from self.lock.critical_section(
-            self.net.cpu(self.net.endpoint_send_ns))
-        self._pending[buf] = len(dests)
-        for dest in dests:
-            link = self._links[dest]
-            yield from self._wait_credit(link)
-            link.sent += 1
-            frame = Frame(
-                kind="data", state=state, src_endpoint=self.endpoint_id,
-                seq=link.sent, payload=buf.payload, length=buf.length,
-                remote_addr=buf.addr,
-            )
-            yield self._cpu(self.net.post_wr_ns)
-            self.qp.post_send(SendWR(
-                wr_id=("data", buf), opcode=Opcode.SEND,
-                buffer=FrameCarrier(frame), length=buf.length, dest=link.ah,
-            ))
-            self.record_send(dest, buf.length)
+    # -- UD posting policy -------------------------------------------------
 
-    def _send_finals(self):
-        for dest in self.destinations:
-            link = self._links[dest]
-            yield from self._wait_credit(link)
-            link.sent += 1
-            frame = Frame(
-                kind="final", state=DataState.DEPLETED,
-                src_endpoint=self.endpoint_id, seq=link.sent,
-                total=link.sent,
-            )
-            yield self._cpu(self.net.post_wr_ns)
-            self.qp.post_send(SendWR(
-                wr_id=("final", dest), opcode=Opcode.SEND,
-                buffer=FrameCarrier(frame), length=0, dest=link.ah,
-                signaled=False,
-            ))
+    def _post_data(self, conn: PeerConnection, buf: Buffer,
+                   frame: Frame) -> None:
+        self.qp.post_send(SendWR(
+            wr_id=("data", buf), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=buf.length, dest=conn.ah,
+        ))
 
-    def _dispatcher(self):
-        """Recycles buffers on send completions; applies credit arrivals."""
-        while True:
-            wc = yield self.cq.wait()
-            if wc.opcode is Opcode.SEND:
-                kind, ref = wc.wr_id
-                if kind != "data":
-                    continue
-                self._pending[ref] -= 1
-                if self._pending[ref] == 0:
-                    del self._pending[ref]
-                    ref.reset()
-                    self._free.put(ref)
-            elif wc.opcode is Opcode.RECV:
-                buf: Buffer = wc.wr_id
-                frame: Frame = buf.payload
-                if frame.kind == "credit":
-                    link = self._link_by_peer.get(frame.src_endpoint)
-                    if link is not None and frame.credit > link.credit:
-                        link.credit = frame.credit
-                        link.notify.notify_all()
-                buf.reset()
-                self.qp.post_recv(RecvWR(wr_id=buf, buffer=buf,
-                                         length=CREDIT_MSG_BYTES))
+    def _post_final(self, conn: PeerConnection, dest: int,
+                    frame: Frame) -> None:
+        self.qp.post_send(SendWR(
+            wr_id=("final", dest), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=0, dest=conn.ah,
+            signaled=False,
+        ))
 
 
-class _RecvLink:
-    """Receiver-side accounting for one source endpoint."""
-
-    __slots__ = ("src_node", "src_endpoint", "posted", "received",
-                 "expected", "ah", "draining")
-
-    def __init__(self, src_node: int, src_endpoint: int):
-        self.src_node = src_node
-        self.src_endpoint = src_endpoint
-        self.posted = 0
-        self.received = 0  # every datagram counts, data and final alike
-        self.expected: Optional[int] = None
-        self.ah: Optional[AddressHandle] = None
-        self.draining = False
-
-
-class SRUDReceiveEndpoint(ReceiveEndpoint):
+class SRUDReceiveEndpoint(CreditedReceiveEndpoint):
     """RECEIVE endpoint using RDMA Receive over Unreliable Datagram."""
 
     transport = "SQ/SR"
@@ -208,41 +138,26 @@ class SRUDReceiveEndpoint(ReceiveEndpoint):
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig,
                  sources: Sequence[Tuple[int, int]]):
-        if config.message_size > ctx.config.mtu:
-            raise ValueError(
-                f"UD message size {config.message_size} exceeds the MTU "
-                f"{ctx.config.mtu} (§2.2.2)"
-            )
+        ensure_ud_message_size(ctx, config)
         super().__init__(ctx, endpoint_id, config, sources)
-        self._links: Dict[int, _RecvLink] = {}
         self.qp = None
-        self.cq = None
-        self.pool: BufferPool = None
-        self._credit_out: BufferPool = None
+        self._credit_out: CreditDatagramPort = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         self.qp = self.ctx.create_qp(QPType.UD, self.cq, self.cq)
         yield from setup_ud_qp(self.ctx, self.qp)
         per_link = self.config.buffers_per_link
-        total_buffers = per_link * max(1, len(self.sources))
-        yield from self._charge_registration(
-            total_buffers * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total_buffers, self.config.message_size)
+        yield from self.provision_recv_pool()
         for buf in self.pool.buffers:
-            self.qp.post_recv(RecvWR(
-                wr_id=buf, buffer=buf, length=self.config.message_size))
+            self.qp.post_recv_buffer(buf, self.config.message_size)
         for src_node, src_ep in self.sources:
-            link = _RecvLink(src_node, src_ep)
-            link.posted = per_link
-            self._links[src_ep] = link
+            conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
+            conn.posted = per_link
         # Tiny buffers for outgoing credit datagrams; they complete fast,
         # so a small rotation per source suffices.
-        self._credit_out = BufferPool(
-            self.ctx, CREDIT_RECV_SLOTS * max(1, len(self.sources)),
-            CREDIT_MSG_BYTES)
-        self._credit_cursor = 0
-        registry.publish(("ep", self.endpoint_id), {
+        self._credit_out = CreditDatagramPort(self, len(self.sources))
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn": self.qp.qpn,
             "initial_credit": per_link,
@@ -250,66 +165,55 @@ class SRUDReceiveEndpoint(ReceiveEndpoint):
 
     def connect(self, registry: EndpointRegistry):
         for src_node, src_ep in self.sources:
-            link = self._links[src_ep]
-            info = registry.lookup(("ep", src_ep))
-            link.ah = yield from create_ah(self.ctx, src_node, info["qpn"])
-        self.sim.process(
-            self._dispatcher(), name=f"sr-ud-recv-disp-{self.endpoint_id}")
+            conn = self.conns[src_ep]
+            info = registry.lookup_endpoint(src_ep)
+            conn.ah = yield from create_ah(self.ctx, src_node, info["qpn"])
+        CompletionDispatcher(self).on(Opcode.RECV, self._on_receive) \
+            .start(f"sr-ud-recv-disp-{self.endpoint_id}")
         self.sim.process(
             self._credit_keepalive(), name=f"sr-ud-keepalive-{self.endpoint_id}")
 
     # -- data path ---------------------------------------------------------------
 
-    def _dispatcher(self):
-        while True:
-            wc = yield self.cq.wait()
-            if wc.opcode is not Opcode.RECV:
-                continue
-            buf: Buffer = wc.wr_id
-            frame: Frame = buf.payload
-            link = self._links.get(frame.src_endpoint)
-            if link is None:
-                # Stray datagram from an unknown endpoint: drop it.
-                buf.reset()
-                self.qp.post_recv(RecvWR(
-                    wr_id=buf, buffer=buf, length=self.config.message_size))
-                continue
-            link.received += 1
-            if frame.kind == "data":
-                self.messages_received += 1
-                self.bytes_received += frame.length
-                buf.payload = frame.payload
-                buf.length = frame.length
-                self._inbox.put((
-                    DataState.MORE_DATA, frame.src_endpoint,
-                    frame.remote_addr, buf,
-                ))
-            elif frame.kind == "final":
-                link.expected = frame.total
-                buf.reset()
-                self.qp.post_recv(RecvWR(
-                    wr_id=buf, buffer=buf, length=self.config.message_size))
-            self._check_link_complete(link)
-
-    def _check_link_complete(self, link: _RecvLink) -> None:
-        if link.expected is None:
+    def _on_receive(self, wc) -> None:
+        buf: Buffer = wc.wr_id
+        frame: Frame = buf.payload
+        conn = self.conns.get(frame.src_endpoint)
+        if conn is None:
+            # Stray datagram from an unknown endpoint: drop it.
+            buf.reset()
+            self.qp.post_recv_buffer(buf, self.config.message_size)
             return
-        if link.received >= link.expected:
-            self._source_depleted(link.src_endpoint)
-        elif not link.draining:
+        conn.received += 1
+        if frame.kind == "data":
+            buf.payload = frame.payload
+            buf.length = frame.length
+            self._deliver(frame.src_endpoint, frame.remote_addr, buf)
+        elif frame.kind == "final":
+            conn.expected = frame.total
+            buf.reset()
+            self.qp.post_recv_buffer(buf, self.config.message_size)
+        self._check_link_complete(conn)
+
+    def _check_link_complete(self, conn: PeerConnection) -> None:
+        if conn.expected is None:
+            return
+        if conn.received >= conn.expected:
+            self._source_depleted(conn.endpoint)
+        elif not conn.draining:
             # Out-of-order delivery means stragglers are *common* at end
             # of stream; give them the drain window before declaring loss.
-            link.draining = True
+            conn.draining = True
             self.sim.process(
-                self._drain_watch(link),
-                name=f"sr-ud-drain-{self.endpoint_id}-{link.src_endpoint}")
+                self._drain_watch(conn),
+                name=f"sr-ud-drain-{self.endpoint_id}-{conn.endpoint}")
 
-    def _drain_watch(self, link: _RecvLink):
+    def _drain_watch(self, conn: PeerConnection):
         yield self.sim.timeout(self.config.drain_timeout_ns)
-        if link.expected is not None and link.received < link.expected:
+        if conn.expected is not None and conn.received < conn.expected:
             self._fail(ShuffleNetworkError(
-                f"endpoint {self.endpoint_id}: source {link.src_endpoint} "
-                f"sent {link.expected} messages but only {link.received} "
+                f"endpoint {self.endpoint_id}: source {conn.endpoint} "
+                f"sent {conn.expected} messages but only {conn.received} "
                 f"arrived within the drain timeout — restarting the query"
             ))
 
@@ -323,29 +227,18 @@ class SRUDReceiveEndpoint(ReceiveEndpoint):
         while self._active_sources:
             yield self.sim.timeout(interval)
             for src_ep in list(self._active_sources):
-                link = self._links[src_ep]
-                self._post_credit(link)
+                self._credit_out.post_credit(self.conns[src_ep])
 
-    def _post_credit(self, link: _RecvLink) -> None:
-        slot = self._credit_out.buffers[
-            self._credit_cursor % len(self._credit_out.buffers)]
-        self._credit_cursor += 1
-        frame = Frame(kind="credit", src_endpoint=self.endpoint_id,
-                      credit=link.posted)
-        self.qp.post_send(SendWR(
-            wr_id=("credit", link.src_endpoint), opcode=Opcode.SEND,
-            buffer=FrameCarrier(frame), length=CREDIT_MSG_BYTES,
-            dest=link.ah, signaled=False,
-        ))
+    # -- UD posting policy -------------------------------------------------
 
-    def release(self, remote_addr: int, local: Buffer, src: int):
-        yield from self.lock.critical_section(
-            self.net.cpu(self.net.post_wr_ns))
-        link = self._links[src]
-        local.reset()
-        self.qp.post_recv(RecvWR(
-            wr_id=local, buffer=local, length=self.config.message_size))
-        link.posted += 1
-        if link.posted % self.config.credit_frequency == 0:
-            yield self._cpu(self.net.post_wr_ns)
-            self._post_credit(link)
+    def _repost(self, conn: PeerConnection, local: Buffer) -> None:
+        self.qp.post_recv_buffer(local, self.config.message_size)
+
+    def _return_credit(self, conn: PeerConnection) -> None:
+        self._credit_out.post_credit(conn)
+
+
+register_endpoint_kind(
+    "SR_UD", SRUDSendEndpoint, SRUDReceiveEndpoint, uses_ud=True,
+    description="Send/Receive over UD, credit datagrams + "
+                "message counting (§4.4.2)")

@@ -181,31 +181,10 @@ class ShuffleStage:
 
     def qps_created(self, node: int) -> int:
         """Queue Pairs this stage created on ``node``."""
-        total = 0
-        for ep in self._node_endpoints(node):
-            if hasattr(ep, "qp") and ep.qp is not None:
-                total += 1
-            for attr in ("_conns", "_links"):
-                conns = getattr(ep, attr, None)
-                if conns:
-                    total += sum(1 for c in conns.values()
-                                 if getattr(c, "qp", None) is not None)
-        return total
+        return sum(len(ep.qps()) for ep in self._node_endpoints(node))
 
     def registered_bytes(self, node: int) -> int:
         """Registered memory currently pinned on ``node`` by this stage."""
-        total = 0
-        for ep in self._node_endpoints(node):
-            if ep.pool is not None:
-                total += ep.pool.mr.length
-            for attr in ("_credit_mr", "_free_mr", "_valid_mr"):
-                mr = getattr(ep, attr, None)
-                if mr is not None:
-                    total += mr.length
-            cpool = getattr(ep, "_credit_pool", None)
-            if cpool is not None:
-                total += cpool.mr.length
-            cout = getattr(ep, "_credit_out", None)
-            if cout is not None:
-                total += cout.mr.length
-        return total
+        return sum(mr.length
+                   for ep in self._node_endpoints(node)
+                   for mr in ep.registered_regions())

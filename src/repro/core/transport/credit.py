@@ -1,0 +1,177 @@
+"""The paper's credit schemes as pluggable policy objects.
+
+Three flow-control mechanisms appear in §4.4, all built on the same
+primitive — a peer deposits an absolute value into registered memory (or
+a datagram) and a host-side hook reacts:
+
+* **Inlined-value credits** (§4.4.1, SR over RC): the receiver RDMA-
+  Writes the absolute credit (total Receives posted) into a per-
+  destination *credit word* at the sender — :class:`CreditWordBoard` on
+  the sender, :func:`post_credit_word` on the receiver.
+* **Credit datagrams** (§4.4.2, SR over UD): UD supports no RDMA Write,
+  so the absolute credit travels as a small datagram —
+  :class:`CreditDatagramPort` holds the small rotating buffer pools on
+  both sides; the sender applies arrivals with :func:`grant_credit`.
+* **FreeArr/ValidArr circular queues** (§4.4.3, RD/WR over RC): buffer
+  addresses are produced into per-peer circular queues by inlined RDMA
+  Writes — :class:`RingBoard` is the consumer side (registered region,
+  per-peer slot ranges, write hook); :class:`~.rings.RingCursor` the
+  producer side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.memory import BufferPool
+from repro.verbs.constants import Opcode
+from repro.verbs.wr import RecvWR, SendWR
+
+from repro.core.transport.connections import PeerConnection
+
+__all__ = [
+    "CREDIT_MSG_BYTES",
+    "CREDIT_RECV_SLOTS",
+    "CreditDatagramPort",
+    "CreditWordBoard",
+    "RingBoard",
+    "grant_credit",
+    "post_credit_word",
+]
+
+#: wire size of a credit-return datagram (header-only message).
+CREDIT_MSG_BYTES = 16
+#: credit slots provisioned per peer for credit datagrams.
+CREDIT_RECV_SLOTS = 8
+
+
+def grant_credit(conn: PeerConnection, value: int) -> None:
+    """Apply an absolute credit value to a sender-side connection.
+
+    Stale (reordered or duplicated) values are superseded by construction
+    — the property that keeps the protocol stateless (§4.4.1-2).
+    """
+    if value > conn.credit:
+        conn.credit = value
+        conn.notify.notify_all()
+
+
+def post_credit_word(conn: PeerConnection) -> None:
+    """Receiver half of the §4.4.1 scheme: write the absolute credit
+    (Receives posted so far) into the sender's credit word, inlined into
+    the WQE to save the payload DMA fetch [16]."""
+    conn.qp.post_send(SendWR(
+        wr_id=("credit", conn.endpoint), opcode=Opcode.WRITE,
+        remote_addr=conn.credit_addr, value=conn.posted,
+        inline=True, signaled=False,
+    ))
+
+
+class CreditWordBoard:
+    """Sender half of the §4.4.1 scheme: one credit word per destination,
+    written remotely by receivers; arrivals grant credit."""
+
+    __slots__ = ("mr",)
+
+    @classmethod
+    def install(cls, ep):
+        """Process fragment: register the credit words of ``ep`` (one per
+        destination), wire the write hook, and return the per-destination
+        address map for the bootstrap exchange."""
+        board = cls()
+        board.mr = yield from ep.ctx.reg_mr_timed(8 * len(ep.destinations))
+        addr_by_dest = {}
+        conns = []
+        for i, dest in enumerate(ep.destinations):
+            conn = ep.conns[dest]
+            conn.credit_addr = board.mr.addr + 8 * i
+            addr_by_dest[dest] = conn.credit_addr
+            conns.append(conn)
+
+        def on_write(addr: int, value: int) -> None:
+            grant_credit(conns[(addr - board.mr.addr) // 8], value)
+
+        board.mr.on_write.append(on_write)
+        ep.aux_mrs.append(board.mr)
+        return addr_by_dest
+
+
+class RingBoard:
+    """Consumer side of per-peer circular message queues (FreeArr or
+    ValidArr): one registered region carved into ``cap``-slot rings, one
+    per peer, updated by inlined remote Writes.  Every write of a
+    non-zero value is routed to ``on_value(key, value)``."""
+
+    __slots__ = ("mr", "cap", "base_by_key", "_regions", "_on_value")
+
+    @classmethod
+    def install(cls, ep, keys: Sequence[Any], cap: int,
+                on_value: Callable[[Any, int], None],
+                min_one: bool = False):
+        """Process fragment: register ``8 * cap`` bytes per key (at least
+        one ring when ``min_one``), wire the write hook, and return the
+        board (``base_by_key`` feeds the bootstrap exchange)."""
+        board = cls()
+        board.cap = cap
+        board._on_value = on_value
+        count = max(1, len(keys)) if min_one else len(keys)
+        board.mr = yield from ep.ctx.reg_mr_timed(8 * cap * count)
+        board.base_by_key = {}
+        board._regions: List[Tuple[int, int, Any]] = []
+        for i, key in enumerate(keys):
+            base = board.mr.addr + 8 * cap * i
+            board.base_by_key[key] = base
+            board._regions.append((base, base + 8 * cap, key))
+        board.mr.on_write.append(board._route)
+        ep.aux_mrs.append(board.mr)
+        return board
+
+    def _route(self, addr: int, value: int) -> None:
+        if value == 0:
+            return
+        for lo, hi, key in self._regions:
+            if lo <= addr < hi:
+                self._on_value(key, value)
+                return
+
+
+class CreditDatagramPort:
+    """Both halves of the §4.4.2 scheme's buffering: a small rotating
+    pool of header-sized buffers — receive slots for incoming credit on
+    the sender, send slots for outgoing credit on the receiver (credit
+    datagrams complete fast, so a short rotation per peer suffices)."""
+
+    __slots__ = ("ep", "pool", "_cursor")
+
+    def __init__(self, ep, peer_count: int):
+        self.ep = ep
+        self.pool = BufferPool(ep.ctx, CREDIT_RECV_SLOTS * max(1, peer_count),
+                               CREDIT_MSG_BYTES)
+        self._cursor = 0
+        ep.aux_pools.append(self.pool)
+
+    def post_recv_slots(self) -> None:
+        """Post every slot as a Receive for incoming credit datagrams."""
+        for buf in self.pool.buffers:
+            self.ep.qp.post_recv(RecvWR(wr_id=buf, buffer=buf,
+                                        length=CREDIT_MSG_BYTES))
+
+    def repost(self, buf) -> None:
+        """Recycle a consumed credit-receive slot."""
+        buf.reset()
+        self.ep.qp.post_recv(RecvWR(wr_id=buf, buffer=buf,
+                                    length=CREDIT_MSG_BYTES))
+
+    def post_credit(self, conn: PeerConnection) -> None:
+        """Send ``conn.posted`` as an absolute-credit datagram."""
+        # Imported here: this module loads while repro.core.endpoint is
+        # still initialising (endpoint -> transport.rings -> package).
+        from repro.core.endpoint import Frame, FrameCarrier
+        self._cursor += 1
+        frame = Frame(kind="credit", src_endpoint=self.ep.endpoint_id,
+                      credit=conn.posted)
+        self.ep.qp.post_send(SendWR(
+            wr_id=("credit", conn.endpoint), opcode=Opcode.SEND,
+            buffer=FrameCarrier(frame), length=CREDIT_MSG_BYTES,
+            dest=conn.ah, signaled=False,
+        ))

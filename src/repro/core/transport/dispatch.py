@@ -1,0 +1,50 @@
+"""The shared completion-dispatch loop.
+
+Every endpoint design used to run a private ``while True: wc = yield
+cq.wait()`` process with an ad-hoc ``if``/``elif`` ladder.
+:class:`CompletionDispatcher` is that loop with the routing made
+declarative: handlers are registered per opcode, unhandled completions
+are drained silently (the RDMA Read sender, whose only active work is
+draining Write completions, registers no handlers at all).
+
+Handlers run on the dispatcher process and must not block — they are
+host-side reactions (recycle a buffer, grant credit, deliver to the
+inbox), mirroring how the real implementation keeps its CQ polling loop
+free of waits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.verbs.constants import Opcode
+
+__all__ = ["CompletionDispatcher"]
+
+
+class CompletionDispatcher:
+    """Routes work completions of one CQ to per-opcode handlers."""
+
+    __slots__ = ("ep", "cq", "_handlers")
+
+    def __init__(self, ep, cq=None):
+        self.ep = ep
+        self.cq = ep.cq if cq is None else cq
+        self._handlers: Dict[Opcode, Callable] = {}
+
+    def on(self, opcode: Opcode, handler: Callable) -> "CompletionDispatcher":
+        """Register ``handler(wc)`` for completions of ``opcode``."""
+        self._handlers[opcode] = handler
+        return self
+
+    def start(self, name: str) -> "CompletionDispatcher":
+        """Spawn the dispatch loop as a named simulation process."""
+        self.ep.sim.process(self._run(), name=name)
+        return self
+
+    def _run(self):
+        while True:
+            wc = yield self.cq.wait()
+            handler = self._handlers.get(wc.opcode)
+            if handler is not None:
+                handler(wc)

@@ -22,59 +22,45 @@ Compared to RDMA Read, the transfer completes in a half round trip (no
 read request), but the sender must know free remote buffers in advance,
 so a slow receiver stalls the sender symmetrically to the Read design's
 broadcast starvation.
+
+Like the Read design, the circular-queue machinery comes from the shared
+transport runtime; this module is the RDMA Write posting policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.endpoint import (
     DataState,
     EndpointConfig,
     Frame,
-    ReceiveEndpoint,
-    SendEndpoint,
+    FrameCarrier,
 )
-from repro.memory import Buffer, BufferPool
+from repro.core.transport.connections import (
+    PeerConnection,
+    rc_connect_receivers,
+    rc_connect_senders,
+)
+from repro.core.transport.credit import RingBoard
+from repro.core.transport.dispatch import CompletionDispatcher
+from repro.core.transport.registry import register_endpoint_kind
+from repro.core.transport.rings import RingCursor, post_ring_write
+from repro.core.transport.runtime import (
+    RuntimeReceiveEndpoint,
+    RuntimeSendEndpoint,
+)
+from repro.memory import Buffer
 from repro.sim import Notify
-from repro.verbs.cm import EndpointRegistry, connect_rc_pair
-from repro.verbs.constants import AddressHandle, Opcode, QPType
+from repro.verbs.cm import EndpointRegistry
+from repro.verbs.constants import Opcode, QPType
 from repro.verbs.device import VerbsContext
 from repro.verbs.wr import SendWR
 
 __all__ = ["WriteRCSendEndpoint", "WriteRCReceiveEndpoint"]
 
 
-class _FrameCarrier:
-    __slots__ = ("payload",)
-
-    def __init__(self, frame: Frame):
-        self.payload = frame
-
-
-class _SendLink:
-    """Per-destination sender state: QP, remote free list, ValidArr cursor."""
-
-    __slots__ = ("dest_node", "qp", "remote_free", "notify",
-                 "valid_base", "valid_cap", "prod")
-
-    def __init__(self, dest_node: int):
-        self.dest_node = dest_node
-        self.qp = None
-        #: addresses of free buffers at the receiver (LIFO).
-        self.remote_free: List[int] = []
-        self.notify = None
-        self.valid_base = 0
-        self.valid_cap = 0
-        self.prod = 0
-
-    def next_valid_slot(self) -> int:
-        slot = self.valid_base + (self.prod % self.valid_cap) * 8
-        self.prod += 1
-        return slot
-
-
-class WriteRCSendEndpoint(SendEndpoint):
+class WriteRCSendEndpoint(RuntimeSendEndpoint):
     """Active SEND endpoint pushing data with one-sided RDMA Writes."""
 
     transport = "MQ/WR"
@@ -82,114 +68,74 @@ class WriteRCSendEndpoint(SendEndpoint):
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig, destinations: Sequence[int],
                  num_groups: int, peers: Dict[int, int]):
-        super().__init__(ctx, endpoint_id, config, destinations, num_groups)
-        self.peers = dict(peers)
-        self._links: Dict[int, _SendLink] = {}
-        self._pending: Dict[Buffer, int] = {}
-        self.pool: BufferPool = None
-        self.cq = None
-        self._free_mr = None
+        super().__init__(ctx, endpoint_id, config, destinations,
+                         num_groups, peers)
+        self._free_board: RingBoard = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         for dest in self.destinations:
-            link = _SendLink(dest)
-            link.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
-            link.notify = Notify(self.sim)
-            self._links[dest] = link
-        pool_buffers = (self.config.buffers_per_connection * self.num_groups *
-                        self.config.threads_per_endpoint)
-        yield from self._charge_registration(
-            pool_buffers * self.config.message_size)
-        self.pool = BufferPool(self.ctx, pool_buffers,
-                               self.config.message_size)
-        for buf in self.pool.buffers:
-            self._free.put(buf)
+            conn = self.conns.add(dest, PeerConnection(dest))
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.notify = Notify(self.sim)
+            #: addresses of free buffers at the receiver (LIFO).
+            conn.remote_free = []
+        yield from self.provision_send_pool()
         cap = self.config.buffers_per_link + 2
-        self._free_mr = yield from self.ctx.reg_mr_timed(
-            8 * cap * len(self.destinations))
-        self._free_base = {
-            dest: self._free_mr.addr + 8 * cap * i
-            for i, dest in enumerate(self.destinations)
-        }
-        self._free_region = [
-            (base, base + 8 * cap, dest)
-            for dest, base in self._free_base.items()
-        ]
-        self._free_mr.on_write.append(self._on_free_write)
-        registry.publish(("ep", self.endpoint_id), {
+        self._free_board = yield from RingBoard.install(
+            self, self.destinations, cap, self._on_free_value)
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
-            "qpn_by_dest": {d: l.qp.qpn for d, l in self._links.items()},
-            "freearr_base_by_dest": self._free_base,
+            "qpn_by_dest": {d: c.qp.qpn for d, c in self.conns.items()},
+            "freearr_base_by_dest": self._free_board.base_by_key,
             "freearr_cap": cap,
         })
 
     def connect(self, registry: EndpointRegistry):
-        for dest in self.destinations:
-            link = self._links[dest]
-            info = registry.lookup(("ep", self.peers[dest]))
-            remote_qpn = info["qpn_by_source"][self.endpoint_id]
-            yield from connect_rc_pair(
-                self.ctx, link.qp, AddressHandle(dest, remote_qpn))
-            link.valid_base = info["validarr_base_by_source"][self.endpoint_id]
-            link.valid_cap = info["validarr_cap"]
-            link.remote_free = list(
+        def bind(conn, info):
+            conn.valid = RingCursor(
+                info["validarr_base_by_source"][self.endpoint_id],
+                info["validarr_cap"])
+            conn.remote_free = list(
                 info["buffer_addrs_by_source"][self.endpoint_id])
-        self.sim.process(self._dispatcher(),
-                         name=f"wr-send-cq-{self.endpoint_id}")
 
-    def _on_free_write(self, addr: int, value: int) -> None:
-        if value == 0:
-            return
-        for lo, hi, dest in self._free_region:
-            if lo <= addr < hi:
-                link = self._links[dest]
-                link.remote_free.append(value)
-                link.notify.notify_all()
-                return
+        yield from rc_connect_senders(self, registry, bind)
+        # Local buffers recycle once their data Writes complete.
+        CompletionDispatcher(self) \
+            .on(Opcode.WRITE, self.data_recycler("wdata")) \
+            .start(f"wr-send-cq-{self.endpoint_id}")
 
-    def _dispatcher(self):
-        """Recycles local buffers once their data Writes complete."""
-        while True:
-            wc = yield self.cq.wait()
-            if wc.wr_id[0] != "wdata":
-                continue
-            buf = wc.wr_id[1]
-            self._pending[buf] -= 1
-            if self._pending[buf] == 0:
-                del self._pending[buf]
-                buf.reset()
-                self._free.put(buf)
+    def _on_free_value(self, dest: int, value: int) -> None:
+        conn = self.conns[dest]
+        conn.remote_free.append(value)
+        conn.notify.notify_all()
 
-    def _push(self, link: _SendLink, frame: Frame, buf, length: int,
+    def _push(self, conn: PeerConnection, frame: Frame, buf, length: int,
               signaled: bool):
         """Write data into a free remote buffer, then notify ValidArr."""
-        while not link.remote_free:
-            yield link.notify.wait()
-        remote_addr = link.remote_free.pop()
+        while not conn.remote_free:
+            yield conn.notify.wait()
+        remote_addr = conn.remote_free.pop()
         frame.remote_addr = remote_addr
         yield self._cpu(self.net.post_wr_ns)
-        link.qp.post_send(SendWR(
+        conn.qp.post_send(SendWR(
             wr_id=("wdata", buf), opcode=Opcode.WRITE,
-            buffer=_FrameCarrier(frame), length=length,
+            buffer=FrameCarrier(frame), length=length,
             remote_addr=remote_addr, signaled=signaled,
         ))
         yield self._cpu(self.net.post_wr_ns)
-        link.qp.post_send(SendWR(
-            wr_id=("valid", link.dest_node), opcode=Opcode.WRITE,
-            remote_addr=link.next_valid_slot(), value=remote_addr,
-            inline=True, signaled=False,
-        ))
+        post_ring_write(conn.qp, conn.valid, remote_addr,
+                        ("valid", conn.node))
 
     def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
         yield from self.lock.critical_section(
             self.net.cpu(self.net.endpoint_send_ns))
-        self._pending[buf] = len(dests)
+        self._pending.add(buf, len(dests))
         for dest in dests:
             frame = Frame(kind="data", state=state,
                           src_endpoint=self.endpoint_id,
                           payload=buf.payload, length=buf.length)
-            yield from self._push(self._links[dest], frame, buf,
+            yield from self._push(self.conns[dest], frame, buf,
                                   buf.length, signaled=True)
             self.record_send(dest, buf.length)
 
@@ -197,31 +143,11 @@ class WriteRCSendEndpoint(SendEndpoint):
         for dest in self.destinations:
             frame = Frame(kind="final", state=DataState.DEPLETED,
                           src_endpoint=self.endpoint_id)
-            yield from self._push(self._links[dest], frame, None, 0,
+            yield from self._push(self.conns[dest], frame, None, 0,
                                   signaled=False)
 
 
-class _RecvLink:
-    """Per-source receiver state: QP + FreeArr cursor at the sender."""
-
-    __slots__ = ("src_node", "src_endpoint", "qp", "free_base", "free_cap",
-                 "free_prod")
-
-    def __init__(self, src_node: int, src_endpoint: int):
-        self.src_node = src_node
-        self.src_endpoint = src_endpoint
-        self.qp = None
-        self.free_base = 0
-        self.free_cap = 0
-        self.free_prod = 0
-
-    def next_free_slot(self) -> int:
-        slot = self.free_base + (self.free_prod % self.free_cap) * 8
-        self.free_prod += 1
-        return slot
-
-
-class WriteRCReceiveEndpoint(ReceiveEndpoint):
+class WriteRCReceiveEndpoint(RuntimeReceiveEndpoint):
     """Passive RECEIVE endpoint: data appears in its registered buffers."""
 
     transport = "MQ/WR"
@@ -230,91 +156,67 @@ class WriteRCReceiveEndpoint(ReceiveEndpoint):
                  config: EndpointConfig,
                  sources: Sequence[Tuple[int, int]]):
         super().__init__(ctx, endpoint_id, config, sources)
-        self._links: Dict[int, _RecvLink] = {}
-        self.cq = None
-        self.pool: BufferPool = None
-        self._valid_mr = None
+        self._valid_board: RingBoard = None
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
         per_link = self.config.buffers_per_link
-        total = per_link * max(1, len(self.sources))
-        yield from self._charge_registration(total * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total, self.config.message_size)
+        yield from self.provision_recv_pool()
         cap = per_link * 2 + 4
-        self._valid_mr = yield from self.ctx.reg_mr_timed(
-            8 * cap * max(1, len(self.sources)))
-        valid_base = {}
+        self._valid_board = yield from RingBoard.install(
+            self, [src_ep for _node, src_ep in self.sources], cap,
+            self._on_valid_value, min_one=True)
         buffer_addrs = {}
-        self._link_by_valid_region = []
         next_buffer = 0
-        for i, (src_node, src_ep) in enumerate(self.sources):
-            link = _RecvLink(src_node, src_ep)
-            link.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
-            self._links[src_ep] = link
+        for src_node, src_ep in self.sources:
+            conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
             addrs = []
             for _ in range(per_link):
                 addrs.append(self.pool.buffers[next_buffer].addr)
                 next_buffer += 1
             buffer_addrs[src_ep] = addrs
-            base = self._valid_mr.addr + 8 * cap * i
-            valid_base[src_ep] = base
-            self._link_by_valid_region.append((base, base + 8 * cap, link))
-        self._valid_mr.on_write.append(self._on_valid_write)
-        registry.publish(("ep", self.endpoint_id), {
+        registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn_by_source": {
-                src_ep: l.qp.qpn for src_ep, l in self._links.items()
+                src_ep: c.qp.qpn for src_ep, c in self.conns.items()
             },
-            "validarr_base_by_source": valid_base,
+            "validarr_base_by_source": self._valid_board.base_by_key,
             "validarr_cap": cap,
             "buffer_addrs_by_source": buffer_addrs,
         })
 
     def connect(self, registry: EndpointRegistry):
-        for src_node, src_ep in self.sources:
-            link = self._links[src_ep]
-            info = registry.lookup(("ep", src_ep))
-            remote_qpn = info["qpn_by_dest"][self.ctx.node_id]
-            yield from connect_rc_pair(
-                self.ctx, link.qp, AddressHandle(src_node, remote_qpn))
-            link.free_base = info["freearr_base_by_dest"][self.ctx.node_id]
-            link.free_cap = info["freearr_cap"]
+        def bind(conn, info):
+            conn.free = RingCursor(
+                info["freearr_base_by_dest"][self.ctx.node_id],
+                info["freearr_cap"])
 
-    def _on_valid_write(self, addr: int, value: int) -> None:
-        if value == 0:
+        yield from rc_connect_receivers(self, registry, bind)
+
+    def _on_valid_value(self, src_ep: int, value: int) -> None:
+        conn = self.conns[src_ep]
+        buf = self.pool.at(value)
+        frame: Frame = self.pool.mr.get_object(value)
+        if frame.kind == "final":
+            # Return the buffer straight away; stream is over.
+            post_ring_write(conn.qp, conn.free, value, ("free", src_ep))
+            self._source_depleted(src_ep)
             return
-        for lo, hi, link in self._link_by_valid_region:
-            if lo <= addr < hi:
-                buf = self.pool.at(value)
-                frame: Frame = self.pool.mr.get_object(value)
-                if frame.kind == "final":
-                    # Return the buffer straight away; stream is over.
-                    link.qp.post_send(SendWR(
-                        wr_id=("free", link.src_endpoint),
-                        opcode=Opcode.WRITE,
-                        remote_addr=link.next_free_slot(), value=value,
-                        inline=True, signaled=False,
-                    ))
-                    self._source_depleted(link.src_endpoint)
-                    return
-                buf.payload = frame.payload
-                buf.length = frame.length
-                self.messages_received += 1
-                self.bytes_received += frame.length
-                self._inbox.put((
-                    DataState.MORE_DATA, link.src_endpoint, value, buf,
-                ))
-                return
+        buf.payload = frame.payload
+        buf.length = frame.length
+        self._deliver(src_ep, value, buf)
 
     def release(self, remote_addr: int, local: Buffer, src: int):
         yield from self.lock.critical_section(
             self.net.cpu(self.net.post_wr_ns))
-        link = self._links[src]
+        conn = self.conns[src]
         local.reset()
         yield self._cpu(self.net.post_wr_ns)
-        link.qp.post_send(SendWR(
-            wr_id=("free", src), opcode=Opcode.WRITE,
-            remote_addr=link.next_free_slot(), value=remote_addr,
-            inline=True, signaled=False,
-        ))
+        post_ring_write(conn.qp, conn.free, remote_addr, ("free", src))
+
+
+register_endpoint_kind(
+    "WR_RC", WriteRCSendEndpoint, WriteRCReceiveEndpoint, one_sided=True,
+    description="one-sided RDMA Write over RC, roles of the Read design "
+                "swapped (§7 future work)")

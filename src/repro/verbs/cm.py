@@ -46,6 +46,14 @@ class EndpointRegistry:
                 f"endpoint id {endpoint_id!r} has not been published"
             ) from None
 
+    def publish_endpoint(self, endpoint_id: int, info: Dict[str, Any]) -> None:
+        """Publish one endpoint's bootstrap info under its integer id."""
+        self.publish(("ep", endpoint_id), info)
+
+    def lookup_endpoint(self, endpoint_id: int) -> Dict[str, Any]:
+        """Resolve the bootstrap info published for an endpoint id."""
+        return self.lookup(("ep", endpoint_id))
+
     def __contains__(self, endpoint_id: Any) -> bool:
         return endpoint_id in self._published
 

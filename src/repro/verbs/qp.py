@@ -123,6 +123,11 @@ class QueuePair:
         else:
             self._ud_recvs.append(wr)
 
+    def post_recv_buffer(self, buf, length: int) -> None:
+        """Post ``buf`` as a Receive identified by the buffer itself —
+        the repost idiom of every endpoint's RELEASE path."""
+        self.post_recv(RecvWR(wr_id=buf, buffer=buf, length=length))
+
     def post_send(self, wr: SendWR) -> None:
         """``ibv_post_send``: enqueue a Send / Read / Write work request.
 

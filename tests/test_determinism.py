@@ -1,0 +1,71 @@
+"""Determinism regression: two identical runs must be bit-identical.
+
+The simulator is a deterministic discrete-event machine: with the same
+cluster configuration, design and input, every metric and every trace
+event must come out the same.  The transport-runtime refactor (and any
+future one) must not perturb process spawn order, yield sequences, or
+dict iteration order — this suite catches that class of regression for
+all five endpoint kinds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    EDR,
+    EndpointConfig,
+    TransmissionGroups,
+)
+from repro.core import ReceiveOperator, ShuffleOperator
+from repro.core.shuffle import striped_partitioner
+from repro.core.stage import ShuffleStage
+from repro.engine import CollectSink, QueryFragment, run_fragments
+from repro.engine.scan import ScanOperator
+
+DTYPE = np.dtype([("a", np.int64), ("b", np.int64)])
+
+DESIGN_NAMES = ["MEMQ/SR", "MESQ/SR", "MEMQ/RD", "MEMQ/WR", "MESQ/SR+MC"]
+
+
+def run_once(design, nodes=2, threads=2, rows_per_node=1500):
+    """One complete small shuffle; returns (metrics snapshot, span count,
+    simulated end time)."""
+    cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                    threads_per_node=threads))
+    tracer = cluster.enable_tracing()
+    groups = TransmissionGroups.repartition(nodes)
+    cfg = EndpointConfig(message_size=4096)
+    stage = ShuffleStage(cluster.fabric, design, groups, config=cfg,
+                         threads=threads, registry=cluster.registry)
+    cluster.run_process(stage.setup())
+    fragments, sinks = [], []
+    for n in range(nodes):
+        node = cluster.nodes[n]
+        table = np.empty(rows_per_node, dtype=DTYPE)
+        table["a"] = np.arange(rows_per_node)
+        table["b"] = n
+        scan = ScanOperator(node, table, threads, batch_rows=256)
+        shuffle = ShuffleOperator(node, scan, stage.send_endpoints[n],
+                                  groups, striped_partitioner(len(groups)),
+                                  threads)
+        fragments.append(QueryFragment(node, shuffle, threads))
+        recv = ReceiveOperator(node, stage.recv_endpoints[n], threads)
+        sink = CollectSink()
+        sinks.append(sink)
+        fragments.append(QueryFragment(node, recv, threads, sink=sink))
+    cluster.run_process(run_fragments(cluster.sim, fragments))
+    cluster.run()  # drain trailing completions
+    got = sum(len(s.result()) for s in sinks if s.result() is not None)
+    assert got == nodes * rows_per_node
+    return cluster.metrics_snapshot(), len(tracer.events), cluster.sim.now
+
+
+@pytest.mark.parametrize("design", DESIGN_NAMES)
+def test_identical_runs_produce_identical_telemetry(design):
+    first = run_once(design)
+    second = run_once(design)
+    assert first[2] == second[2], "simulated end times diverge"
+    assert first[1] == second[1], "trace span counts diverge"
+    assert first[0] == second[0], "metrics snapshots diverge"

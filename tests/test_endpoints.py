@@ -73,7 +73,7 @@ class TestCreditProtocol:
         stage, _, _ = run_stage_query(cluster, "MEMQ/SR")
         for eps in stage.send_endpoints.values():
             for ep in eps:
-                for conn in ep._conns.values():
+                for conn in ep.conns.values():
                     assert conn.sent <= conn.credit
 
     def test_credit_write_back_amortization(self):
@@ -86,7 +86,7 @@ class TestCreditProtocol:
             writes = 0
             for eps in stage.recv_endpoints.values():
                 for ep in eps:
-                    for conn in ep._conns.values():
+                    for conn in ep.conns.values():
                         writes += conn.qp.sends_posted
             return writes
 
@@ -136,9 +136,9 @@ class TestUnreliableDatagram:
         stage, _, _ = run_stage_query(cluster, "MESQ/SR")
         for eps in stage.recv_endpoints.values():
             for ep in eps:
-                for link in ep._links.values():
-                    assert link.expected is not None
-                    assert link.received == link.expected
+                for conn in ep.conns.values():
+                    assert conn.expected is not None
+                    assert conn.received == conn.expected
 
     def test_ud_uses_single_qp_per_endpoint(self):
         cluster = make_cluster(nodes=4)
@@ -146,7 +146,7 @@ class TestUnreliableDatagram:
         for eps in stage.send_endpoints.values():
             for ep in eps:
                 assert ep.qp is not None  # exactly one QP, many peers
-                assert len(ep._links) == 4
+                assert len(ep.conns) == 4
 
 
 class TestRdmaReadEndpoint:
@@ -193,9 +193,9 @@ class TestRdmaReadEndpoint:
         cluster.run()  # drain in-flight completions
         for eps in stage.recv_endpoints.values():
             for ep in eps:
-                for link in ep._links.values():
-                    assert len(link.local_arr) == ep.config.buffers_per_link
-                    assert not link.pending_remote
+                for conn in ep.conns.values():
+                    assert len(conn.local_arr) == ep.config.buffers_per_link
+                    assert not conn.pending_remote
 
 
 class TestSharedEndpointContention:
@@ -213,3 +213,72 @@ class TestSharedEndpointContention:
             return elapsed
 
         assert run("SESQ/SR") > run("MESQ/SR")
+
+
+# ---------------------------------------------------------------------------
+# Conformance suite: every endpoint kind in the transport registry must
+# honour the §4.2 interface contract.  New backends registered via
+# ``register_endpoint_kind`` are picked up automatically, as long as some
+# design in DESIGNS exposes them.
+# ---------------------------------------------------------------------------
+
+from repro.core.designs import DESIGNS  # noqa: E402
+from repro.core.transport.registry import registered_kinds  # noqa: E402
+
+
+def _design_for_kind(kind):
+    """A representative design for an endpoint kind (prefer multi-endpoint)."""
+    candidates = [d for d in DESIGNS.values() if d.endpoint_kind == kind]
+    for d in candidates:
+        if d.multi_endpoint:
+            return d
+    return candidates[0] if candidates else None
+
+
+CONFORMANCE_KINDS = [k for k in registered_kinds()
+                     if _design_for_kind(k) is not None]
+
+
+@pytest.mark.parametrize("kind", CONFORMANCE_KINDS)
+class TestEndpointConformance:
+    def test_delivers_every_tuple_and_depletes(self, kind):
+        """Exactly-once delivery plus DEPLETED sentinel propagation: every
+        receive endpoint must drain all its sources and terminate."""
+        design = _design_for_kind(kind)
+        cluster = make_cluster()
+        stage, sinks, _ = run_stage_query(cluster, design, rows_per_node=2000)
+        got = sum(len(s.result()) for s in sinks if s.result() is not None)
+        assert got == cluster.num_nodes * 2000
+        for eps in stage.recv_endpoints.values():
+            for ep in eps:
+                # The final/DEPLETED marker arrived from every source.
+                assert ep._active_sources == set()
+
+    def test_getfree_blocks_until_release_recycles(self, kind):
+        """With a single buffer per connection, forward progress is only
+        possible if GETFREE blocks and RELEASE recycles buffers: the run
+        must still complete, reusing each buffer many times."""
+        design = _design_for_kind(kind)
+        cluster = make_cluster()
+        cfg = EndpointConfig(message_size=4096, buffers_per_connection=1,
+                             credit_frequency=1)
+        stage, sinks, _ = run_stage_query(cluster, design,
+                                          rows_per_node=12000, config=cfg)
+        got = sum(len(s.result()) for s in sinks if s.result() is not None)
+        assert got == cluster.num_nodes * 12000
+        for eps in stage.send_endpoints.values():
+            for ep in eps:
+                # More messages than pool buffers proves buffer reuse.
+                assert ep.messages_sent > ep.send_pool_buffers
+
+    def test_network_error_surfaces_as_shuffle_error(self, kind):
+        """Unreliable transports must convert missing datagrams into a
+        ShuffleNetworkError after the drain timeout (§4.4.2); reliable
+        transports handle loss in hardware and never see it."""
+        design = _design_for_kind(kind)
+        if not design.uses_ud:
+            pytest.skip("reliable transport: retransmission is in hardware")
+        cluster = make_cluster(ud_loss_probability=0.05, ud_jitter_ns=0)
+        cfg = EndpointConfig(message_size=4096, drain_timeout_ns=2_000_000)
+        run_stage_query(cluster, design, rows_per_node=30000,
+                        config=cfg, expect_error=True)

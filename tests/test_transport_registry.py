@@ -1,0 +1,107 @@
+"""The endpoint-backend registry: import-time self-registration and
+third-party extension without touching ``repro.core.designs``."""
+
+import numpy as np
+import pytest
+
+from repro.core.designs import DESIGNS, Design
+from repro.core.transport.registry import (
+    EndpointBackend,
+    UnknownEndpointKindError,
+    backend,
+    register_endpoint_kind,
+    registered_kinds,
+)
+
+from tests.test_endpoints import make_cluster, run_stage_query
+
+
+class TestImportTimeRegistration:
+    def test_builtin_kinds_registered(self):
+        kinds = registered_kinds()
+        for kind in ("SR_UD", "SR_UD_MC", "SR_RC", "RD_RC", "WR_RC"):
+            assert kind in kinds
+
+    def test_write_rc_self_registers_on_import(self):
+        """WR_RC is registered by importing its module, not by designs.py."""
+        import repro.core.write_rc as wr
+
+        b = backend("WR_RC")
+        assert b.send_cls is wr.WriteRCSendEndpoint
+        assert b.recv_cls is wr.WriteRCReceiveEndpoint
+        assert b.one_sided and not b.uses_ud
+
+    def test_every_design_resolves_through_registry(self):
+        for design in DESIGNS.values():
+            b = backend(design.endpoint_kind)
+            assert design.send_cls is b.send_cls
+            assert design.recv_cls is b.recv_cls
+            assert design.uses_ud == b.uses_ud
+            assert design.one_sided == b.one_sided
+
+
+class TestUnknownKinds:
+    def test_unknown_kind_raises_with_known_kinds_listed(self):
+        with pytest.raises(UnknownEndpointKindError) as ei:
+            backend("NO_SUCH_KIND")
+        msg = str(ei.value)
+        assert "NO_SUCH_KIND" in msg
+        assert "SR_RC" in msg  # the error names the registered kinds
+        assert isinstance(ei.value, KeyError)
+
+    def test_design_with_unknown_kind_fails_on_use(self):
+        design = Design("BOGUS/XX", "BOGUS_KIND", multi_endpoint=True)
+        with pytest.raises(UnknownEndpointKindError):
+            design.send_cls
+
+
+class TestReRegistration:
+    def test_same_pair_is_idempotent(self):
+        b = backend("WR_RC")
+        again = register_endpoint_kind(
+            "WR_RC", b.send_cls, b.recv_cls,
+            uses_ud=b.uses_ud, one_sided=b.one_sided)
+        assert isinstance(again, EndpointBackend)
+        assert backend("WR_RC") is again or backend("WR_RC") == again
+
+    def test_conflicting_pair_is_rejected(self):
+        class NotASender:
+            pass
+
+        class NotAReceiver:
+            pass
+
+        with pytest.raises(ValueError, match="WR_RC"):
+            register_endpoint_kind("WR_RC", NotASender, NotAReceiver)
+
+
+class TestFifthBackend:
+    def test_demo_backend_runs_without_modifying_designs(self):
+        """A fifth backend registers via the public hook and runs a full
+        shuffle through a Design built outside DESIGNS."""
+        from repro.core.sr_rc import SRRCReceiveEndpoint, SRRCSendEndpoint
+
+        class DemoSendEndpoint(SRRCSendEndpoint):
+            transport = "DEMO"
+
+        class DemoReceiveEndpoint(SRRCReceiveEndpoint):
+            transport = "DEMO"
+
+        register_endpoint_kind(
+            "DEMO_SR", DemoSendEndpoint, DemoReceiveEndpoint,
+            description="test-only fifth backend")
+        assert "DEMO_SR" in registered_kinds()
+        assert "DEMO_SR" not in {d.endpoint_kind for d in DESIGNS.values()}
+
+        design = Design("DEMO/SR", "DEMO_SR", multi_endpoint=True)
+        assert design.send_cls is DemoSendEndpoint
+        assert design.recv_cls is DemoReceiveEndpoint
+
+        cluster = make_cluster()
+        stage, sinks, _ = run_stage_query(cluster, design, rows_per_node=1000)
+        got = np.sum([len(s.result()) for s in sinks
+                      if s.result() is not None])
+        assert got == cluster.num_nodes * 1000
+        for eps in stage.send_endpoints.values():
+            for ep in eps:
+                assert type(ep) is DemoSendEndpoint

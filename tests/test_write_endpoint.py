@@ -49,8 +49,8 @@ class TestWriteBufferProtocol:
         per_link = stage.config.buffers_per_link
         for eps in stage.send_endpoints.values():
             for ep in eps:
-                for link in ep._links.values():
-                    assert len(link.remote_free) == per_link
+                for conn in ep.conns.values():
+                    assert len(conn.remote_free) == per_link
 
     def test_sender_buffers_all_freed(self):
         _s, _k, _e, stage, cluster = run_shuffle_query("SEMQ/WR")
