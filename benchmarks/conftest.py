@@ -9,6 +9,8 @@ in).  Full-scale reproduction: ``repro-bench --all``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.report import ExperimentResult, render
@@ -19,8 +21,6 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
 
-
-import os
 
 #: rendered tables are also appended here, because pytest captures (and,
 #: for passing tests, discards) stdout; this file keeps the reproduced

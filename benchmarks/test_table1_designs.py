@@ -4,7 +4,6 @@ from conftest import run_once, show
 
 from repro.bench.experiments import table1
 from repro.cluster import Cluster
-from repro.core.designs import DESIGNS
 from repro.core.groups import TransmissionGroups
 from repro.core.stage import ShuffleStage
 from repro.fabric.config import EDR, ClusterConfig

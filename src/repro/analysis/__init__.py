@@ -1,0 +1,37 @@
+"""Correctness tooling for the simulated RDMA stack.
+
+Two prongs (see DESIGN.md "Analysis & sanitizer"):
+
+* :mod:`repro.analysis.linter` — AST-based protocol lint over
+  ``src/repro`` (``python -m repro.analysis`` / ``pytest --repro-lint``);
+* :mod:`repro.analysis.sanitizer` — the runtime race detector enabled by
+  ``Cluster.enable_sanitizer()`` / ``repro-bench --sanitize``.
+"""
+
+from repro.analysis.linter import (
+    STATIC_RULES,
+    LintViolation,
+    lint_paths,
+    lint_source,
+    package_root,
+)
+from repro.analysis.sanitizer import (
+    RUNTIME_RULES,
+    ProtocolViolationError,
+    Sanitizer,
+    Violation,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "LintViolation",
+    "ProtocolViolationError",
+    "RUNTIME_RULES",
+    "STATIC_RULES",
+    "Sanitizer",
+    "Violation",
+    "attach_sanitizer",
+    "lint_paths",
+    "lint_source",
+    "package_root",
+]

@@ -1,0 +1,75 @@
+"""CLI driver: ``python -m repro.analysis [paths...]``.
+
+Lints ``src/repro`` (or the given files/directories) with the VS1xx
+protocol rules and exits non-zero if anything is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.linter import (
+    STATIC_RULES,
+    LintViolation,
+    lint_paths,
+    package_root,
+)
+from repro.analysis.sanitizer import RUNTIME_RULES
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Protocol lint for the simulated RDMA stack "
+                    "(static VS1xx rules; the runtime rules run under "
+                    "repro-bench --sanitize).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(e.g. VS101,VS104)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="violation output format (default: text)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("static rules (python -m repro.analysis):")
+        for rule_id, description in STATIC_RULES.items():
+            print(f"  {rule_id}  {description}")
+        print("runtime rules (repro-bench --sanitize):")
+        for rule_id, description in RUNTIME_RULES.items():
+            print(f"  {rule_id}  {description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    paths = [Path(p) for p in args.paths] if args.paths else [package_root()]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+    violations: List[LintViolation] = lint_paths(paths, select=select)
+
+    if args.format == "json":
+        print(json.dumps([{
+            "rule": v.rule, "path": v.path, "line": v.line,
+            "message": v.message,
+        } for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation)
+        print(f"repro.analysis: {len(violations)} violation(s) in "
+              f"{len(paths)} path(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""AST-based protocol lint rules over ``src/repro``.
+
+The static half of the analysis subsystem: rules that catch protocol and
+determinism hazards *before* a simulation runs.  Each rule has a stable
+id (``VS1xx``), a scope (which package paths it applies to) and a small
+exclusion list for the legitimate counterexamples (e.g. the stage wiring
+is *supposed* to reach the fabric).
+
+Rules are deliberately syntactic — they inspect one file's AST with no
+type inference — so a clean pass is cheap enough for CI and the pytest
+hook, and a new rule is one visitor function plus a catalogue entry (see
+DESIGN.md "Adding a rule").
+
+Run with ``python -m repro.analysis`` or ``pytest --repro-lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LintViolation",
+    "STATIC_RULES",
+    "lint_paths",
+    "lint_source",
+    "package_root",
+]
+
+#: static rule catalogue: rule id -> one-line description.
+STATIC_RULES: Dict[str, str] = {
+    "VS101": (
+        "endpoint code reaches fabric/NIC internals instead of the "
+        "verbs API (core/ must stay a verbs client)"),
+    "VS102": (
+        "send posted before receive provisioning on the same path "
+        "(the paper's Receive-before-Send rule, §4.4)"),
+    "VS103": (
+        "buffer payload/length written directly, bypassing the "
+        "registered MemoryRegion interface (use Buffer.fill/deposit)"),
+    "VS104": (
+        "nondeterminism source (wall-clock time, unseeded randomness, "
+        "uuid/secrets) inside simulation-ordered code"),
+    "VS105": (
+        "iteration directly over a set (unordered: breaks the "
+        "determinism suite; sort or use an ordered container)"),
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One static-analysis finding."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory this installation lints by default."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _relative_name(path: Path) -> str:
+    """Path relative to the ``repro`` package (rule scopes key on it)."""
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1:])
+    return path.name
+
+
+# -- rule scopes -----------------------------------------------------------
+
+#: directories whose code runs inside (and orders) the simulation.
+_SIM_ORDERED = ("sim/", "core/", "verbs/", "fabric/", "memory/")
+
+
+def _in_scope(rel: str, prefixes: Sequence[str],
+              exclude: Sequence[str] = ()) -> bool:
+    return rel.startswith(tuple(prefixes)) and rel not in exclude
+
+
+# -- individual rules ------------------------------------------------------
+
+def _rule_vs101(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Endpoint code touching fabric/NIC internals (VS101)."""
+    # The stage wiring legitimately builds on the Fabric; everything else
+    # under core/ must speak verbs only.
+    if not _in_scope(rel, ("core/",), exclude=("core/stage.py",)):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("repro.fabric"):
+                yield (node.lineno,
+                       f"imports {node.module} (fabric internals)")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.fabric"):
+                    yield (node.lineno,
+                           f"imports {alias.name} (fabric internals)")
+        elif isinstance(node, ast.Attribute) and node.attr in ("fabric",
+                                                              "nic"):
+            yield (node.lineno,
+                   f"touches .{node.attr} (use the verbs API)")
+
+
+_RECV_PROVISIONERS = frozenset(
+    {"post_recv", "post_recv_buffer", "post_recv_slots"})
+
+
+def _rule_vs102(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Send posted before receive provisioning in one function (VS102)."""
+    if not _in_scope(rel, ("core/",)):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first_send: Optional[int] = None
+        first_recv: Optional[int] = None
+        for call in ast.walk(node):
+            if not (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)):
+                continue
+            name = call.func.attr
+            if name == "post_send" and first_send is None:
+                first_send = call.lineno
+            elif name in _RECV_PROVISIONERS and first_recv is None:
+                first_recv = call.lineno
+        if (first_send is not None and first_recv is not None
+                and first_send < first_recv):
+            yield (first_send,
+                   f"post_send at line {first_send} precedes receive "
+                   f"provisioning at line {first_recv} in {node.name}()")
+
+
+def _rule_vs103(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Raw buffer field writes outside the buffer/verbs layers (VS103)."""
+    # The verbs layer *is* the NIC (it deposits arriving payloads), and
+    # the buffer layer implements fill/deposit/reset themselves.
+    if rel.startswith(("verbs/", "memory/")) or not rel.endswith(".py"):
+        return
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not (isinstance(target, ast.Attribute)
+                    and target.attr in ("payload", "length")):
+                continue
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                continue  # an object updating its own fields
+            yield (target.lineno,
+                   f"direct write to .{target.attr} bypasses the "
+                   f"registered MemoryRegion (use Buffer.fill/deposit)")
+
+
+#: modules whose import into sim-ordered code is a determinism hazard.
+_NONDET_MODULES = frozenset({"time", "uuid", "secrets"})
+#: module-level functions drawing on hidden global state.
+_NONDET_CALLS = {
+    "time": None,        # every function of time is wall clock
+    "random": {"Random", "SystemRandom"},  # seeded instances are fine
+    "uuid": None,
+    "secrets": None,
+    "os": {"urandom"},   # flag only os.urandom, not os.path etc.
+    "datetime": {"now", "utcnow", "today"},
+}
+
+
+def _rule_vs104(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Nondeterminism sources in simulation-ordered code (VS104)."""
+    if not _in_scope(rel, _SIM_ORDERED):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _NONDET_MODULES:
+                    yield (node.lineno,
+                           f"import {alias.name} (wall clock / entropy has "
+                           f"no place in simulated time)")
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root in _NONDET_MODULES or root == "random":
+                yield (node.lineno,
+                       f"from {node.module} import ... (unseeded/wall-"
+                       f"clock source)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)):
+                continue
+            module, attr = func.value.id, func.attr
+            if module == "os" and attr == "urandom":
+                yield (node.lineno, "os.urandom() is nondeterministic")
+            elif module == "random" and attr not in _NONDET_CALLS["random"]:
+                yield (node.lineno,
+                       f"random.{attr}() uses the unseeded global RNG "
+                       f"(use a seeded random.Random instance)")
+            elif module == "time":
+                yield (node.lineno,
+                       f"time.{attr}() reads the wall clock")
+            elif module == "datetime" and attr in _NONDET_CALLS["datetime"]:
+                yield (node.lineno,
+                       f"datetime.{attr}() reads the wall clock")
+
+
+def _rule_vs105(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Direct iteration over sets (VS105)."""
+    if not _in_scope(rel, _SIM_ORDERED):
+        return
+
+    def is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("set", "frozenset"))
+
+    for node in ast.walk(tree):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if is_set_expr(it):
+                yield (it.lineno,
+                       "iterating a set directly: ordering is undefined "
+                       "(sort it, or iterate an ordered container)")
+
+
+_RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
+    "VS101": _rule_vs101,
+    "VS102": _rule_vs102,
+    "VS103": _rule_vs103,
+    "VS104": _rule_vs104,
+    "VS105": _rule_vs105,
+}
+
+
+# -- driver ----------------------------------------------------------------
+
+def lint_source(rel: str, source: str, path: Optional[str] = None,
+                select: Optional[Sequence[str]] = None
+                ) -> List[LintViolation]:
+    """Lint one file's source text.  ``rel`` is the path relative to the
+    ``repro`` package (rule scopes key on it); ``path`` is what reports
+    display (defaults to ``rel``)."""
+    shown = path or rel
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [LintViolation("VS000", shown, exc.lineno or 0,
+                              f"syntax error: {exc.msg}")]
+    violations: List[LintViolation] = []
+    for rule_id, rule in _RULES.items():
+        if select and rule_id not in select:
+            continue
+        for line, message in rule(rel, tree):
+            violations.append(LintViolation(rule_id, shown, line, message))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def lint_paths(paths: Iterable[Path],
+               select: Optional[Sequence[str]] = None
+               ) -> List[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: List[LintViolation] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            rel = _relative_name(file)
+            source = file.read_text(encoding="utf-8")
+            violations.extend(
+                lint_source(rel, source, path=str(file), select=select))
+    return violations

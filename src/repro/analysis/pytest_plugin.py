@@ -1,0 +1,54 @@
+"""Pytest collection hook: ``pytest --repro-lint``.
+
+Adds one synthetic test item that runs the VS1xx static lint over the
+installed ``repro`` package and fails with the full violation listing —
+so the protocol lint gates the same command CI and developers already
+run, without a separate tool invocation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.analysis.linter import LintViolation, lint_paths, package_root
+
+__all__ = ["ReproLintItem"]
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--repro-lint", action="store_true", default=False,
+        help="also run the repro.analysis static protocol lint "
+             "as a test item")
+
+
+class ReproLintFailure(Exception):
+    """Static protocol lint violations were found."""
+
+
+class ReproLintItem(pytest.Item):
+    """One collected item running the whole static lint pass."""
+
+    def runtest(self) -> None:
+        violations: List[LintViolation] = lint_paths([package_root()])
+        if violations:
+            listing = "\n".join(str(v) for v in violations)
+            raise ReproLintFailure(
+                f"{len(violations)} protocol lint violation(s):\n{listing}")
+
+    def repr_failure(self, excinfo):
+        if isinstance(excinfo.value, ReproLintFailure):
+            return str(excinfo.value)
+        return super().repr_failure(excinfo)
+
+    def reportinfo(self):
+        return self.path, None, "repro-analysis-lint"
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(session, config, items) -> None:
+    if config.getoption("--repro-lint"):
+        items.append(ReproLintItem.from_parent(
+            session, name="repro-analysis-lint"))

@@ -234,8 +234,7 @@ class IPoIBReceiveEndpoint(ReceiveEndpoint):
             + frame.length * self.net.tcp_ns_per_byte)
         local = self._avail.pop() if self._avail else Buffer(
             self.pool.mr, self.pool.mr.addr, self.config.message_size)
-        local.payload = frame.payload
-        local.length = frame.length
+        local.deposit(frame.payload, frame.length)
         return (state, src, remote, local)
 
     def release(self, remote_addr: int, local: Buffer, src: int):

@@ -401,8 +401,7 @@ class MPIReceiveEndpoint(ReceiveEndpoint):
             self.bytes_received += frame.length
             local = self._avail.pop() if self._avail else Buffer(
                 self.pool.mr, self.pool.mr.addr, self.config.message_size)
-            local.payload = frame.payload
-            local.length = frame.length
+            local.deposit(frame.payload, frame.length)
             return (DataState.MORE_DATA, frame.src_endpoint,
                     frame.remote_addr, local)
 

@@ -50,6 +50,10 @@ def main(argv=None) -> int:
                         help="record a Chrome trace-event file of every "
                              "simulated run (load in Perfetto / "
                              "chrome://tracing)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every simulation under the protocol "
+                             "sanitizer (repro.analysis); exit non-zero "
+                             "if any violation is detected")
     args = parser.parse_args(argv)
 
     names = list(ALL_EXPERIMENTS) if args.all else args.experiments
@@ -61,7 +65,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
     experiments_out = []
-    with session(trace=args.trace is not None) as sess:
+    with session(trace=args.trace is not None,
+                 sanitize=args.sanitize) as sess:
         for name in names:
             start = time.time()
             results = ALL_EXPERIMENTS[name](scale=args.scale)
@@ -99,6 +104,10 @@ def main(argv=None) -> int:
         if args.trace:
             sess.export_trace(args.trace)
             print(f"wrote {args.trace}", file=sys.stderr)
+        if args.sanitize:
+            print(sess.sanitizer_report(), file=sys.stderr)
+            if sess.violation_count:
+                return 1
     return 0
 
 

@@ -41,6 +41,29 @@ class Cluster:
             for i in range(config.num_nodes)
         ]
         self.registry = EndpointRegistry()
+        self.sanitizer = None
+        if session is not None and getattr(session, "sanitize", False):
+            self.enable_sanitizer()
+
+    def enable_sanitizer(self, strict: bool = False):
+        """Attach the runtime protocol sanitizer to this cluster.
+
+        Idempotent.  With ``strict=True`` the first violation raises
+        :class:`~repro.analysis.sanitizer.ProtocolViolationError`; the
+        default records violations for inspection via
+        ``cluster.sanitizer.report()``.
+        """
+        if self.sanitizer is not None:
+            return self.sanitizer
+        # Imported lazily: clusters that never sanitize pay nothing.
+        from repro.analysis.sanitizer import Sanitizer, attach_sanitizer
+        self.sanitizer = Sanitizer(self.sim, telemetry=self.telemetry,
+                                   strict=strict)
+        attach_sanitizer(self.fabric, self.sanitizer)
+        active = current_session()
+        if active is not None:
+            active.register_sanitizer(self.sanitizer)
+        return self.sanitizer
 
     @property
     def num_nodes(self) -> int:

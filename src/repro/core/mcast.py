@@ -59,7 +59,7 @@ class McastSRUDSendEndpoint(SRUDSendEndpoint):
         for dest in dests:
             yield from self._wait_credit(self.conns[dest])
         for dest in dests:
-            self.conns[dest].sent += 1
+            self._consume_credit(self.conns[dest])
         frame = Frame(
             kind="data", state=state, src_endpoint=self.endpoint_id,
             seq=0, payload=buf.payload, length=buf.length,

@@ -80,8 +80,12 @@ class ReadRCSendEndpoint(RuntimeSendEndpoint):
             self._final_bufs[dest] = buf
         self._final_addrs = {buf.addr for buf in self._final_bufs.values()}
         # FreeArr: one circular region per destination, written remotely.
+        # A returned address must name a buffer this sender actually has
+        # in flight; anything else is a board inconsistency.
         self._free_board = yield from RingBoard.install(
-            self, self.destinations, self._free_cap, self._on_free_value)
+            self, self.destinations, self._free_cap, self._on_free_value,
+            name="freearr",
+            validator=lambda dest, value: value in self._pending)
         registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn_by_dest": {d: c.qp.qpn for d, c in self.conns.items()},
@@ -160,7 +164,8 @@ class ReadRCReceiveEndpoint(RuntimeReceiveEndpoint):
         # hold every buffer the sender could have outstanding plus finals.
         self._valid_board = yield from RingBoard.install(
             self, [src_ep for _node, src_ep in self.sources],
-            self._valid_cap, self._on_valid_value, min_one=True)
+            self._valid_cap, self._on_valid_value, min_one=True,
+            name="validarr")
         next_buffer = 0
         for src_node, src_ep in self.sources:
             conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
@@ -229,8 +234,7 @@ class ReadRCReceiveEndpoint(RuntimeReceiveEndpoint):
             self._pump(conn)
             self._source_depleted(src_ep)
         else:
-            local.payload = frame.payload
-            local.length = frame.length
+            local.deposit(frame.payload, frame.length)
             self._deliver(src_ep, remote_addr, local)
 
     # -- RELEASE (Alg 3, lines 16-18) ----------------------------------------------

@@ -132,8 +132,7 @@ class SRRCReceiveEndpoint(CreditedReceiveEndpoint):
         buf: Buffer = wc.wr_id
         frame: Frame = buf.payload
         if frame.kind == "data":
-            buf.payload = frame.payload
-            buf.length = frame.length
+            buf.deposit(frame.payload, frame.length)
             self._deliver(frame.src_endpoint, frame.remote_addr, buf)
         elif frame.kind == "final":
             # Repost the consumed Receive, without issuing credit: the

@@ -186,8 +186,7 @@ class SRUDReceiveEndpoint(CreditedReceiveEndpoint):
             return
         conn.received += 1
         if frame.kind == "data":
-            buf.payload = frame.payload
-            buf.length = frame.length
+            buf.deposit(frame.payload, frame.length)
             self._deliver(frame.src_endpoint, frame.remote_addr, buf)
         elif frame.kind == "final":
             conn.expected = frame.total

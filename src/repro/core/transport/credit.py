@@ -21,7 +21,7 @@ a datagram) and a host-side hook reacts:
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.memory import BufferPool
 from repro.verbs.constants import Opcode
@@ -102,18 +102,29 @@ class RingBoard:
     per peer, updated by inlined remote Writes.  Every write of a
     non-zero value is routed to ``on_value(key, value)``."""
 
-    __slots__ = ("mr", "cap", "base_by_key", "_regions", "_on_value")
+    __slots__ = ("mr", "cap", "base_by_key", "_regions", "_on_value",
+                 "_ep", "name", "validator")
 
     @classmethod
     def install(cls, ep, keys: Sequence[Any], cap: int,
                 on_value: Callable[[Any, int], None],
-                min_one: bool = False):
+                min_one: bool = False, name: str = "ring",
+                validator: Optional[Callable[[Any, int], bool]] = None):
         """Process fragment: register ``8 * cap`` bytes per key (at least
         one ring when ``min_one``), wire the write hook, and return the
-        board (``base_by_key`` feeds the bootstrap exchange)."""
+        board (``base_by_key`` feeds the bootstrap exchange).
+
+        ``validator(key, value)`` — optional semantic check consulted by
+        the sanitizer on every consumed value (e.g. "this FreeArr address
+        names a buffer we actually have in flight"); return ``False`` to
+        flag a board inconsistency.
+        """
         board = cls()
         board.cap = cap
         board._on_value = on_value
+        board._ep = ep
+        board.name = name
+        board.validator = validator
         count = max(1, len(keys)) if min_one else len(keys)
         board.mr = yield from ep.ctx.reg_mr_timed(8 * cap * count)
         board.base_by_key = {}
@@ -131,6 +142,9 @@ class RingBoard:
             return
         for lo, hi, key in self._regions:
             if lo <= addr < hi:
+                san = self._ep.ctx.sanitizer
+                if san is not None:
+                    san.on_ring_consume(self, lo, key, value)
                 self._on_value(key, value)
                 return
 

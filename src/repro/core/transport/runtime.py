@@ -102,6 +102,15 @@ class RuntimeSendEndpoint(SendEndpoint):
 class CreditedSendEndpoint(RuntimeSendEndpoint):
     """Two-sided SEND data path under stateless credit (§4.4.1-2)."""
 
+    def _consume_credit(self, conn: PeerConnection) -> None:
+        """Account one message against ``conn``'s credit window.  Every
+        send path must come through here so the sanitizer can observe
+        credit underflow at the exact posting site."""
+        conn.sent += 1
+        san = self.ctx.sanitizer
+        if san is not None:
+            san.on_credit_consumed(self, conn)
+
     def send(self, buf: Buffer, dests: Sequence[int], state: DataState):
         # Per-call bookkeeping is serialized: this is the shared-endpoint
         # contention the SE configurations pay for.
@@ -111,7 +120,7 @@ class CreditedSendEndpoint(RuntimeSendEndpoint):
         for dest in dests:
             conn = self.conns[dest]
             yield from self._wait_credit(conn)
-            conn.sent += 1
+            self._consume_credit(conn)
             frame = Frame(
                 kind="data", state=state, src_endpoint=self.endpoint_id,
                 seq=conn.sent, payload=buf.payload, length=buf.length,
@@ -127,7 +136,7 @@ class CreditedSendEndpoint(RuntimeSendEndpoint):
         for dest in self.destinations:
             conn = self.conns[dest]
             yield from self._wait_credit(conn)
-            conn.sent += 1
+            self._consume_credit(conn)
             frame = Frame(
                 kind="final", state=DataState.DEPLETED,
                 src_endpoint=self.endpoint_id, seq=conn.sent,

@@ -71,6 +71,9 @@ class WriteRCSendEndpoint(RuntimeSendEndpoint):
         super().__init__(ctx, endpoint_id, config, destinations,
                          num_groups, peers)
         self._free_board: RingBoard = None
+        #: receiver buffer addresses learned at connect, per destination —
+        #: the ground truth the FreeArr sanitizer validator checks against.
+        self._known_remote: Dict[int, frozenset] = {}
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
@@ -82,8 +85,13 @@ class WriteRCSendEndpoint(RuntimeSendEndpoint):
             conn.remote_free = []
         yield from self.provision_send_pool()
         cap = self.config.buffers_per_link + 2
+        # A returned address must be one of the receiver-side buffers this
+        # sender was granted at connect time.
         self._free_board = yield from RingBoard.install(
-            self, self.destinations, cap, self._on_free_value)
+            self, self.destinations, cap, self._on_free_value,
+            name="freearr",
+            validator=lambda dest, value:
+                value in self._known_remote.get(dest, ()))
         registry.publish_endpoint(self.endpoint_id, {
             "node": self.ctx.node_id,
             "qpn_by_dest": {d: c.qp.qpn for d, c in self.conns.items()},
@@ -98,6 +106,7 @@ class WriteRCSendEndpoint(RuntimeSendEndpoint):
                 info["validarr_cap"])
             conn.remote_free = list(
                 info["buffer_addrs_by_source"][self.endpoint_id])
+            self._known_remote[conn.node] = frozenset(conn.remote_free)
 
         yield from rc_connect_senders(self, registry, bind)
         # Local buffers recycle once their data Writes complete.
@@ -163,9 +172,12 @@ class WriteRCReceiveEndpoint(RuntimeReceiveEndpoint):
         per_link = self.config.buffers_per_link
         yield from self.provision_recv_pool()
         cap = per_link * 2 + 4
+        # A notified address must land inside this receiver's own pool.
+        pool_addrs = frozenset(buf.addr for buf in self.pool.buffers)
         self._valid_board = yield from RingBoard.install(
             self, [src_ep for _node, src_ep in self.sources], cap,
-            self._on_valid_value, min_one=True)
+            self._on_valid_value, min_one=True, name="validarr",
+            validator=lambda src_ep, value: value in pool_addrs)
         buffer_addrs = {}
         next_buffer = 0
         for src_node, src_ep in self.sources:
@@ -203,8 +215,7 @@ class WriteRCReceiveEndpoint(RuntimeReceiveEndpoint):
             post_ring_write(conn.qp, conn.free, value, ("free", src_ep))
             self._source_depleted(src_ep)
             return
-        buf.payload = frame.payload
-        buf.length = frame.length
+        buf.deposit(frame.payload, frame.length)
         self._deliver(src_ep, value, buf)
 
     def release(self, remote_addr: int, local: Buffer, src: int):

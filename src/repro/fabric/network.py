@@ -12,7 +12,7 @@ errors, §4.4.2) is available for failure testing and defaults to off.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.fabric.config import ClusterConfig, NetworkConfig
 from repro.fabric.nic import NIC
@@ -63,6 +63,9 @@ class Fabric:
         #: verbs contexts register themselves here (node_id -> VerbsContext)
         #: so Queue Pairs can resolve their peers.
         self.verbs_contexts: dict = {}
+        #: runtime sanitizer; ``None`` unless Cluster.enable_sanitizer()
+        #: (or repro.analysis.sanitizer.attach_sanitizer) installed one.
+        self.sanitizer: Optional[Any] = None
         #: InfiniBand multicast groups: mgid -> set of (node_id, qpn)
         #: attached UD QPs.  The switch replicates a single sender packet
         #: to every member, so the sender's port is charged only once.

@@ -41,7 +41,8 @@ def current_session() -> Optional["TelemetrySession"]:
 
 
 @contextmanager
-def session(trace: bool = False, trace_budget_events: int = 400_000):
+def session(trace: bool = False, trace_budget_events: int = 400_000,
+            sanitize: bool = False):
     """Activate a TelemetrySession for the duration of the ``with`` block."""
     global _ACTIVE
     if _ACTIVE is not None:
@@ -49,7 +50,8 @@ def session(trace: bool = False, trace_budget_events: int = 400_000):
         yield _ACTIVE
         return
     sess = TelemetrySession(trace=trace,
-                            trace_budget_events=trace_budget_events)
+                            trace_budget_events=trace_budget_events,
+                            sanitize=sanitize)
     _ACTIVE = sess
     try:
         yield sess
@@ -64,7 +66,8 @@ class TelemetrySession:
     PID_STRIDE = 1000
 
     def __init__(self, trace: bool = False,
-                 trace_budget_events: int = 400_000):
+                 trace_budget_events: int = 400_000,
+                 sanitize: bool = False):
         self.trace = trace
         self.budget = TraceBudget(trace_budget_events) if trace else None
         self.telemetries: List[Telemetry] = []
@@ -72,6 +75,13 @@ class TelemetrySession:
         self._runs = 0
         #: sealed per-checkpoint records: {"experiment", "runs", "digest"}.
         self.records: List[Dict[str, Any]] = []
+        #: request every Cluster built under this session to enable its
+        #: runtime sanitizer (repro-bench --sanitize).
+        self.sanitize = sanitize
+        #: live sanitizers of not-yet-checkpointed runs.
+        self.sanitizers: List[Any] = []
+        #: violations drained from sealed runs, in checkpoint order.
+        self.violation_log: List[Any] = []
 
     def attach(self, sim, num_nodes: int) -> Telemetry:
         """Create (and track) the Telemetry for one new cluster."""
@@ -99,7 +109,29 @@ class TelemetrySession:
             "digest": digest,
         })
         self.telemetries.clear()
+        for sanitizer in self.sanitizers:
+            self.violation_log.extend(sanitizer.violations)
+        self.sanitizers.clear()
         return digest
+
+    def register_sanitizer(self, sanitizer: Any) -> None:
+        """Track one run's sanitizer so checkpoint() drains its findings."""
+        self.sanitizers.append(sanitizer)
+
+    def sanitizer_report(self) -> str:
+        """Human-readable summary of every violation seen so far."""
+        pending = [v for s in self.sanitizers for v in s.violations]
+        found = list(self.violation_log) + pending
+        if not found:
+            return "sanitizer: clean (0 violations)"
+        lines = [f"sanitizer: {len(found)} violation(s)"]
+        lines.extend(f"  {violation}" for violation in found)
+        return "\n".join(lines)
+
+    @property
+    def violation_count(self) -> int:
+        return (len(self.violation_log)
+                + sum(len(s.violations) for s in self.sanitizers))
 
     def metrics_document(self) -> Dict[str, Any]:
         """The ``--metrics`` JSON payload."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.sim import Event, Queue, Simulator
@@ -56,12 +56,18 @@ class CompletionQueue:
         self._entries = Queue(sim)
         self.pushed = 0
         self.polled = 0
+        #: runtime sanitizer hook; ``None`` keeps the hot path branch-only.
+        self.sanitizer: Optional[Any] = None
+        #: owning node, stamped by VerbsContext.create_cq for reporting.
+        self.node_id = -1
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def push(self, wc: WorkCompletion) -> None:
         """Deposit a completion (called by the simulated NIC)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_cq_push(self, wc)
         if len(self._entries) >= self.depth:
             # A real adapter raises a fatal async "CQ overrun" event.
             raise VerbsError(f"CQ overrun (depth={self.depth})")
@@ -77,13 +83,23 @@ class CompletionQueue:
                 break
             out.append(wc)
         self.polled += len(out)
+        if self.sanitizer is not None:
+            for wc in out:
+                self.sanitizer.on_cq_consumed(self, wc)
         return out
 
     def wait(self) -> Event:
-        """An event firing with the next completion (blocking poll)."""
+        """An event firing with the next completion (blocking poll).
+
+        The bookkeeping callback runs at trigger time, *before* the
+        waiting process resumes, so the sanitizer sees a completion as
+        consumed by the time a dispatcher handler touches its buffer.
+        """
         event = self._entries.get()
-        event.add_callback(lambda _e: self._count_polled())
+        event.add_callback(self._on_waited)
         return event
 
-    def _count_polled(self) -> None:
+    def _on_waited(self, event: Event) -> None:
         self.polled += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_cq_consumed(self, event.value)

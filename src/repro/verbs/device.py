@@ -33,6 +33,10 @@ class VerbsContext:
         self.nic = self.node.nic
         self.config = fabric.config
         self.memory = AddressSpace(node_id)
+        #: runtime sanitizer; inherited from the fabric so contexts created
+        #: after Cluster.enable_sanitizer() are covered automatically.
+        self.sanitizer = fabric.sanitizer
+        self.memory.sanitizer = self.sanitizer
         self._qps: Dict[int, QueuePair] = {}
         self._cqs: List[CompletionQueue] = []
         self._qpn_counter = 0
@@ -63,6 +67,8 @@ class VerbsContext:
 
     def create_cq(self, depth: int = 4096) -> CompletionQueue:
         cq = CompletionQueue(self.sim, depth)
+        cq.node_id = self.node_id
+        cq.sanitizer = self.sanitizer
         self._cqs.append(cq)
         return cq
 

@@ -46,11 +46,17 @@ class MemoryRegion:
         #: credit words) to avoid busy-spinning in simulated time; a real
         #: implementation polls the cache line instead.
         self.on_write: list = []
+        #: runtime sanitizer hook; ``None`` keeps every access zero-cost.
+        self.sanitizer: Optional[Any] = None
 
     def _check(self, addr: int, nbytes: int = 1) -> None:
         if self.deregistered:
+            if self.sanitizer is not None:
+                self.sanitizer.on_mr_error(self, "deregistered", addr)
             raise VerbsError(f"access to deregistered MR lkey={self.lkey}")
         if not (self.addr <= addr and addr + nbytes <= self.addr + self.length):
+            if self.sanitizer is not None:
+                self.sanitizer.on_mr_error(self, "out-of-bounds", addr)
             raise VerbsError(
                 f"address {addr:#x}+{nbytes} outside MR "
                 f"[{self.addr:#x}, {self.addr + self.length:#x})"
@@ -101,10 +107,13 @@ class AddressSpace:
         self._regions: Dict[int, MemoryRegion] = {}
         self.registered_bytes = 0
         self.peak_registered_bytes = 0
+        #: runtime sanitizer propagated to every region registered here.
+        self.sanitizer: Optional[Any] = None
 
     def register(self, length: int) -> MemoryRegion:
         """Allocate and register a fresh region of ``length`` bytes."""
         mr = MemoryRegion(self.node_id, self._next_addr, length, self._next_key)
+        mr.sanitizer = self.sanitizer
         # Leave a guard gap so off-by-one addressing bugs fault loudly.
         self._next_addr += length + 4096
         self._next_key += 1
@@ -117,10 +126,16 @@ class AddressSpace:
 
     def deregister(self, mr: MemoryRegion) -> None:
         if mr.lkey not in self._regions:
+            if self.sanitizer is not None:
+                self.sanitizer.on_mr_error(mr, "double-deregister", mr.addr)
             raise VerbsError(f"MR lkey={mr.lkey} is not registered on this node")
         del self._regions[mr.lkey]
         mr.deregistered = True
         self.registered_bytes -= mr.length
+
+    def regions(self) -> Any:
+        """Live view of the registered regions (for sanitizer attachment)."""
+        return self._regions.values()
 
     def resolve(self, addr: int) -> MemoryRegion:
         """Find the registered region containing ``addr``.

@@ -110,12 +110,17 @@ class QueuePair:
 
     def post_recv(self, wr: RecvWR) -> None:
         """``ibv_post_recv``: queue a receive buffer."""
+        san = self.ctx.sanitizer
+        if san is not None:
+            san.check_post_recv(self, wr)
         if self.state not in (QPState.INIT, QPState.RTS):
             raise VerbsError(f"cannot post receive in state {self.state}")
         if self._recv_posted >= self.max_recv_wr:
             raise VerbsError(
                 f"receive queue full (max_recv_wr={self.max_recv_wr})"
             )
+        if san is not None:
+            san.track_post_recv(self, wr)
         self._recv_posted += 1
         self.recvs_posted += 1
         if self.qp_type is QPType.RC:
@@ -134,6 +139,9 @@ class QueuePair:
         Returns immediately (the verb is asynchronous); completion is
         reported through the send CQ if ``wr.signaled``.
         """
+        san = self.ctx.sanitizer
+        if san is not None:
+            san.check_post_send(self, wr)
         if self.state is not QPState.RTS:
             raise VerbsError(f"cannot post send in state {self.state}")
         if self._send_outstanding >= self.max_send_wr:
@@ -155,6 +163,8 @@ class QueuePair:
                 raise VerbsError("RC QP is not connected")
             if wr.length > MAX_RC_MSG:
                 raise VerbsError(f"RC message of {wr.length} B exceeds 1 GiB")
+        if san is not None:
+            san.track_post_send(self, wr)
         self._send_outstanding += 1
         self.sends_posted += 1
         if self.qp_type is QPType.RC:
@@ -186,8 +196,7 @@ class QueuePair:
                 f"{packet.length} B message"
             )
         if rwr.buffer is not None:
-            rwr.buffer.payload = packet.payload
-            rwr.buffer.length = packet.length
+            rwr.buffer.deposit(packet.payload, packet.length)
         self.recv_cq.push(WorkCompletion(
             wr_id=rwr.wr_id, opcode=Opcode.RECV, byte_len=packet.length,
             qpn=self.qpn, src_node=packet.src_node, src_qpn=packet.src_qpn,
@@ -199,19 +208,21 @@ class QueuePair:
     def _rc_send(self, wr: SendWR):
         config = self.ctx.config
         nic = self.ctx.nic
+        peer = self._peer
+        assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
         yield nic.process_wr(self.qpn)
         packet = Packet(
-            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
-            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="SEND",
+            src_node=self.ctx.node_id, dst_node=peer.node_id,
+            src_qpn=self.qpn, dst_qpn=peer.qpn, kind="SEND",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "RC"),
             payload=None if wr.buffer is None else wr.buffer.payload,
             meta={"imm": wr.imm},
         )
         packet = yield self.ctx.fabric.route(packet)
-        remote = self.ctx.peer_context(self._peer.node_id)
-        remote_qp = remote.qp(self._peer.qpn)
+        remote = self.ctx.peer_context(peer.node_id)
+        remote_qp = remote.qp(peer.qpn)
         # Receiver-not-ready: stall until a Receive is posted.  (The
         # paper's credit protocol exists precisely so this never happens.)
         rnr_t0 = self.ctx.sim.now
@@ -221,13 +232,13 @@ class QueuePair:
             remote_qp.rnr_events += 1
             remote_qp.rnr_stall_ns += stalled
             self.ctx.tracer.complete(
-                self._peer.node_id, f"qp{self._peer.qpn}", "rnr-stall",
+                peer.node_id, f"qp{peer.qpn}", "rnr-stall",
                 rnr_t0, stalled, "verbs")
         remote_qp._recv_posted -= 1
         remote_qp._deposit(rwr, packet)
         ack = Packet(
-            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
-            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="ACK",
+            src_node=peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
             length=0, wire_bytes=config.rc_ack_bytes,
         )
         yield self.ctx.fabric.route(ack)
@@ -238,29 +249,30 @@ class QueuePair:
 
     def _rc_read(self, wr: SendWR):
         config = self.ctx.config
+        peer = self._peer
+        assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn)
         request = Packet(
-            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
-            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="READ_REQ",
+            src_node=self.ctx.node_id, dst_node=peer.node_id,
+            src_qpn=self.qpn, dst_qpn=peer.qpn, kind="READ_REQ",
             length=0, wire_bytes=config.rc_header_bytes,
         )
         yield self.ctx.fabric.route(request)
         # The remote CPU stays passive: the remote *NIC* serves the read.
-        remote = self.ctx.peer_context(self._peer.node_id)
-        yield remote.nic.process_wr(self._peer.qpn)
+        remote = self.ctx.peer_context(peer.node_id)
+        yield remote.nic.process_wr(peer.qpn)
         mr = remote.memory.resolve(wr.remote_addr)
         response = Packet(
-            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
-            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="READ_RESP",
+            src_node=peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=peer.qpn, dst_qpn=self.qpn, kind="READ_RESP",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "RC"),
             payload=mr.get_object(wr.remote_addr),
         )
         response = yield self.ctx.fabric.route(response)
         if wr.buffer is not None:
-            wr.buffer.payload = response.payload
-            wr.buffer.length = wr.length
+            wr.buffer.deposit(response.payload, wr.length)
         self._complete_send(wr, wr.length)
         self.ctx.tracer.complete(
             self.ctx.node_id, f"qp{self.qpn}", "rc-read", t0,
@@ -268,28 +280,30 @@ class QueuePair:
 
     def _rc_write(self, wr: SendWR):
         config = self.ctx.config
+        peer = self._peer
+        assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
         # Inlined payloads skip the extra DMA fetch of the payload [16].
         extra = 0 if wr.inline else config.nic_wr_ns
         yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra)
         packet = Packet(
-            src_node=self.ctx.node_id, dst_node=self._peer.node_id,
-            src_qpn=self.qpn, dst_qpn=self._peer.qpn, kind="WRITE",
+            src_node=self.ctx.node_id, dst_node=peer.node_id,
+            src_qpn=self.qpn, dst_qpn=peer.qpn, kind="WRITE",
             length=max(wr.length, 8 if wr.value is not None else 0),
             wire_bytes=config.wire_bytes(
                 max(wr.length, 8 if wr.value is not None else 0), "RC"),
             payload=None if wr.buffer is None else wr.buffer.payload,
         )
         packet = yield self.ctx.fabric.route(packet)
-        remote = self.ctx.peer_context(self._peer.node_id)
+        remote = self.ctx.peer_context(peer.node_id)
         mr = remote.memory.resolve(wr.remote_addr)
         if wr.value is not None:
             mr.write_u64(wr.remote_addr, wr.value)
         else:
             mr.set_object(wr.remote_addr, packet.payload)
         ack = Packet(
-            src_node=self._peer.node_id, dst_node=self.ctx.node_id,
-            src_qpn=self._peer.qpn, dst_qpn=self.qpn, kind="ACK",
+            src_node=peer.node_id, dst_node=self.ctx.node_id,
+            src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
             length=0, wire_bytes=config.rc_ack_bytes,
         )
         yield self.ctx.fabric.route(ack)
@@ -304,22 +318,24 @@ class QueuePair:
         from repro.verbs.constants import MCAST_NODE
 
         config = self.ctx.config
+        dest = wr.dest
+        assert dest is not None  # post_send validated the destination
         t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn)
         packet = Packet(
-            src_node=self.ctx.node_id, dst_node=max(wr.dest.node_id, 0),
-            src_qpn=self.qpn, dst_qpn=wr.dest.qpn, kind="SEND",
+            src_node=self.ctx.node_id, dst_node=max(dest.node_id, 0),
+            src_qpn=self.qpn, dst_qpn=dest.qpn, kind="SEND",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "UD"),
             payload=None if wr.buffer is None else wr.buffer.payload,
             meta={"imm": wr.imm},
         )
         egress_done = Event(self.ctx.sim)
-        if wr.dest.node_id == MCAST_NODE:
+        if dest.node_id == MCAST_NODE:
             # InfiniBand multicast: the switch replicates the datagram to
             # every attached QP; the sender's port is charged only once.
             fanout = self.ctx.fabric.route_mcast(
-                packet, mgid=wr.dest.qpn, egress_event=egress_done)
+                packet, mgid=dest.qpn, egress_event=egress_done)
             self.ctx.sim.process(
                 self._ud_mcast_deliver(fanout),
                 name=f"qp{self.qpn}-ud-mcast")

@@ -1,0 +1,238 @@
+"""Static protocol lint (repro.analysis): rules, CLI, pytest hook.
+
+Two halves per rule: the clean-tree pass (the shipped ``src/repro`` has
+zero violations) and a planted-bug negative test proving the rule fires
+on exactly the pattern it documents.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    STATIC_RULES,
+    LintViolation,
+    lint_paths,
+    lint_source,
+    package_root,
+)
+from repro.analysis.__main__ import main as analysis_main
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestCleanTree:
+    def test_shipped_package_is_clean(self):
+        assert lint_paths([package_root()]) == []
+
+    def test_rule_catalogue_is_documented(self):
+        for rule_id, description in STATIC_RULES.items():
+            assert rule_id.startswith("VS")
+            assert len(description) > 10
+
+
+class TestVS101FabricBypass:
+    """Core endpoint code must reach the network through verbs only."""
+
+    def test_fabric_import_flagged(self):
+        violations = lint_source("core/evil.py", "from repro.fabric import Fabric\n")
+        assert rules_of(violations) == ["VS101"]
+
+    def test_nic_attribute_access_flagged(self):
+        source = (
+            "def run(ctx):\n"
+            "    ctx.fabric.deliver()\n"
+            "    ctx.nic.egress()\n"
+        )
+        violations = lint_source("core/evil.py", source)
+        assert rules_of(violations) == ["VS101", "VS101"]
+
+    def test_stage_is_exempt(self):
+        # stage.py owns setup wiring and legitimately touches the fabric.
+        source = "from repro.fabric import Fabric\n"
+        assert lint_source("core/stage.py", source) == []
+
+    def test_outside_core_is_exempt(self):
+        source = "from repro.fabric import Fabric\n"
+        assert lint_source("bench/experiments.py", source) == []
+
+
+class TestVS102ReceiveBeforeSend:
+    """Within one function, the first post_send must not precede the
+    first receive provisioning call (§4.2 discipline)."""
+
+    BAD = (
+        "def setup(self):\n"
+        "    self.qp.post_send(wr)\n"
+        "    self.qp.post_recv(rwr)\n"
+    )
+    GOOD = (
+        "def setup(self):\n"
+        "    self.qp.post_recv(rwr)\n"
+        "    self.qp.post_send(wr)\n"
+    )
+
+    def test_send_first_flagged(self):
+        violations = lint_source("core/evil.py", self.BAD)
+        assert rules_of(violations) == ["VS102"]
+
+    def test_recv_first_clean(self):
+        assert lint_source("core/evil.py", self.GOOD) == []
+
+    def test_send_only_function_clean(self):
+        source = "def push(self):\n    self.qp.post_send(wr)\n"
+        assert lint_source("core/evil.py", source) == []
+
+
+class TestVS103RawBufferWrite:
+    """Payload/length stores outside the buffer layer bypass the
+    MemoryRegion bookkeeping (and the runtime buffer-reuse check)."""
+
+    def test_raw_payload_store_flagged(self):
+        source = (
+            "def unwrap(buf, frame):\n"
+            "    buf.payload = frame.payload\n"
+            "    buf.length = frame.length\n"
+        )
+        violations = lint_source("core/evil.py", source)
+        assert rules_of(violations) == ["VS103", "VS103"]
+
+    def test_self_attribute_stores_clean(self):
+        # An object may manage its *own* payload fields (Frame, Packet...).
+        source = (
+            "def __init__(self, payload, length):\n"
+            "    self.payload = payload\n"
+            "    self.length = length\n"
+        )
+        assert lint_source("core/evil.py", source) == []
+
+    def test_buffer_layer_is_exempt(self):
+        source = "def fill(buf, p):\n    buf.payload = p\n"
+        assert lint_source("memory/buffer.py", source) == []
+        assert lint_source("verbs/qp.py", source) == []
+
+
+class TestVS104WallClockNondeterminism:
+    def test_time_and_uuid_imports_flagged(self):
+        source = "import time\nimport uuid\nfrom random import randint\n"
+        violations = lint_source("sim/evil.py", source)
+        assert rules_of(violations) == ["VS104", "VS104", "VS104"]
+
+    def test_bare_random_calls_flagged(self):
+        source = (
+            "import random\n"
+            "x = random.random()\n"
+        )
+        violations = lint_source("fabric/evil.py", source)
+        assert rules_of(violations) == ["VS104"]
+
+    def test_seeded_rng_is_clean(self):
+        # The fabric's loss/jitter model uses a cluster-seeded Random.
+        source = (
+            "import random\n"
+            "rng = random.Random(seed)\n"
+        )
+        assert lint_source("fabric/network.py", source) == []
+
+    def test_bench_wall_clock_is_exempt(self):
+        # Wall-clock timing of the *host* is fine outside the simulation.
+        source = "import time\nstart = time.time()\n"
+        assert lint_source("bench/cli.py", source) == []
+
+
+class TestVS105SetIterationOrder:
+    def test_set_literal_iteration_flagged(self):
+        source = (
+            "def scan(items):\n"
+            "    for x in {1, 2, 3}:\n"
+            "        pass\n"
+            "    return [y for y in set(items)]\n"
+        )
+        violations = lint_source("core/evil.py", source)
+        assert rules_of(violations) == ["VS105", "VS105"]
+
+    def test_sorted_set_is_clean(self):
+        source = (
+            "def scan(items):\n"
+            "    for x in sorted(set(items)):\n"
+            "        pass\n"
+        )
+        assert lint_source("core/evil.py", source) == []
+
+
+class TestLintMachinery:
+    def test_syntax_error_becomes_vs000(self):
+        violations = lint_source("core/broken.py", "def f(:\n")
+        assert rules_of(violations) == ["VS000"]
+
+    def test_select_filters_rules(self):
+        source = "import time\nbuf.payload = 1\n"
+        only_104 = lint_source("core/evil.py", source, select=["VS104"])
+        assert rules_of(only_104) == ["VS104"]
+
+    def test_violations_sort_stably(self):
+        source = "import time\nimport uuid\n"
+        violations = lint_source("sim/evil.py", source)
+        assert [v.line for v in violations] == [1, 2]
+
+    def test_violation_str_names_rule_and_location(self):
+        violation = LintViolation("VS104", "sim/evil.py", 3, "wall clock")
+        assert "VS104" in str(violation)
+        assert ":3" in str(violation)
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert analysis_main([]) == 0
+        assert "0 violation(s)" in capsys.readouterr().err
+
+    @staticmethod
+    def planted(tmp_path, source):
+        # Scopes key on the path after a "repro" segment, so plant the
+        # file inside a fake package tree.
+        bad = tmp_path / "repro" / "core" / "evil.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(source)
+        return bad
+
+    def test_planted_file_exits_one(self, tmp_path, capsys):
+        bad = self.planted(tmp_path, "import time\n")
+        assert analysis_main([str(bad)]) == 1
+        out = capsys.readouterr()
+        assert "VS104" in out.out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = self.planted(tmp_path, "import uuid\n")
+        assert analysis_main([str(bad), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document[0]["rule"] == "VS104"
+        assert document[0]["line"] == 1
+
+    def test_select_limits_rules(self, tmp_path):
+        bad = self.planted(tmp_path, "import time\nbuf.payload = 1\n")
+        assert analysis_main([str(bad), "--select", "VS103"]) == 1
+        assert analysis_main([str(bad), "--select", "VS101"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in STATIC_RULES:
+            assert rule_id in out
+        assert "qp-state" in out  # runtime catalogue printed too
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(SystemExit):
+            analysis_main(["/no/such/path.py"])
+
+
+class TestPytestPlugin:
+    def test_lint_item_collected_behind_flag(self, pytester=None):
+        # The plugin is loaded repo-wide via conftest; assert the option
+        # registered and the item type is importable.
+        from repro.analysis.pytest_plugin import ReproLintItem
+        assert ReproLintItem.__name__ == "ReproLintItem"
+
+    def test_repro_lint_option_runs_clean(self, request):
+        assert request.config.getoption("--repro-lint") in (True, False)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import DESIGNS, design_properties
-from repro.core.designs import Design
 from repro.core.read_rc import ReadRCSendEndpoint
 from repro.core.sr_rc import SRRCSendEndpoint
 from repro.core.sr_ud import SRUDSendEndpoint

@@ -18,7 +18,6 @@ from repro import (
     TransmissionGroups,
 )
 from repro.core import ReceiveOperator, ShuffleOperator
-from repro.core.endpoint import DataState
 from repro.core.shuffle import striped_partitioner
 from repro.core.stage import ShuffleStage
 from repro.engine import CollectSink, QueryFragment, run_fragments
@@ -167,7 +166,6 @@ class TestRdmaReadEndpoint:
         receivers do all the data movement via RDMA Read."""
         cluster = make_cluster()
         stage, _, _ = run_stage_query(cluster, "MEMQ/RD")
-        from repro.verbs.constants import Opcode
         # All data bytes travel as READ_RESP packets, none as SEND.
         # (Check via endpoint counters: received == sent logical msgs.)
         sent = sum(ep.messages_sent

@@ -6,7 +6,7 @@ import pytest
 from repro import Cluster, ClusterConfig, EDR, TransmissionGroups
 from repro.core import DESIGNS
 from repro.verbs import QPType, RecvWR, SendWR, VerbsError
-from repro.verbs.constants import MCAST_NODE, Opcode, mcast_ah
+from repro.verbs.constants import Opcode, mcast_ah
 
 from tests.test_shuffle_integration import (
     received_multiset,

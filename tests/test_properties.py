@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for core data structures & invariants."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.groups import TransmissionGroups

@@ -1,0 +1,172 @@
+"""Runtime sanitizer: clean-tree conformance and zero-overhead contract.
+
+Three guarantees, per design:
+
+* every built-in endpoint design runs sanitizer-clean (the protocol
+  invariants of §4.2/§4.4 actually hold);
+* the sanitizer never perturbs the simulation — simulated end time and
+  metrics snapshots are bit-identical with it on or off;
+* violations flow into the telemetry session (``repro-bench --sanitize``)
+  and, when tracing, onto a per-node trace track.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR
+from repro.analysis import ProtocolViolationError
+from repro.bench import cli as bench_cli
+from repro.telemetry.session import session
+from repro.verbs import VerbsError
+
+from tests.test_determinism import DESIGN_NAMES
+from tests.test_endpoints import make_cluster, run_stage_query
+
+
+def run_once(design, sanitize, rows_per_node=1500):
+    cluster = make_cluster()
+    san = cluster.enable_sanitizer() if sanitize else None
+    _, sinks, _ = run_stage_query(cluster, design,
+                                  rows_per_node=rows_per_node)
+    cluster.run()  # drain trailing completions
+    got = sum(len(s.result()) for s in sinks if s.result() is not None)
+    assert got == cluster.num_nodes * rows_per_node
+    return cluster.metrics_snapshot(), cluster.sim.now, san
+
+
+def first_context(cluster):
+    return next(iter(cluster.fabric.verbs_contexts.values()))
+
+
+@pytest.mark.parametrize("design", DESIGN_NAMES)
+def test_designs_are_clean_and_sanitizer_is_invisible(design):
+    """Conformance + invariance in one pass: the design runs clean, and
+    the sanitized run is bit-identical to the unsanitized one."""
+    plain_snapshot, plain_now, _ = run_once(design, sanitize=False)
+    snapshot, now, san = run_once(design, sanitize=True)
+    assert san.violations == []
+    san.assert_clean()  # must not raise
+    assert san.report() == "sanitizer: clean (0 violations)"
+    assert now == plain_now, "sanitizer perturbed simulated time"
+    assert snapshot == plain_snapshot, "sanitizer perturbed metrics"
+
+
+class TestWiring:
+    def test_off_by_default(self):
+        cluster = make_cluster()
+        assert cluster.sanitizer is None
+        assert cluster.fabric.sanitizer is None
+        ctx = first_context(cluster)
+        assert ctx.sanitizer is None
+        assert ctx.memory.sanitizer is None
+
+    def test_enable_is_idempotent_and_reaches_existing_objects(self):
+        cluster = make_cluster()
+        ctx = first_context(cluster)
+        cq = ctx.create_cq()
+        mr = ctx.reg_mr(64)  # created before enable_sanitizer()
+        san = cluster.enable_sanitizer()
+        assert cluster.enable_sanitizer() is san
+        assert ctx.sanitizer is san
+        assert cq.sanitizer is san
+        assert mr.sanitizer is san
+        # ... and objects created afterwards inherit it too.
+        assert ctx.create_cq().sanitizer is san
+        assert ctx.reg_mr(64).sanitizer is san
+
+    def test_strict_mode_raises_at_first_violation(self):
+        cluster = make_cluster()
+        cluster.enable_sanitizer(strict=True)
+        ctx = first_context(cluster)
+        mr = ctx.reg_mr(64)
+        ctx.dereg_mr(mr)
+        with pytest.raises(ProtocolViolationError, match="mr-lifetime"):
+            mr.read_u64(mr.addr)
+
+    def test_violations_mirror_onto_trace(self):
+        cluster = make_cluster()
+        tracer = cluster.enable_tracing()
+        cluster.enable_sanitizer()
+        ctx = first_context(cluster)
+        mr = ctx.reg_mr(64)
+        ctx.dereg_mr(mr)
+        with pytest.raises(VerbsError):
+            mr.read_u64(mr.addr)
+        instants = [e for e in tracer.events
+                    if e.get("cat") == "sanitizer"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "mr-lifetime"
+
+    def test_violation_str_carries_simulated_timestamp(self):
+        cluster = make_cluster()
+        san = cluster.enable_sanitizer()
+        san.record("qp-state", "planted", node_id=1)
+        text = str(san.violations[0])
+        assert text.startswith("[qp-state] t=0ns node=1: planted")
+
+
+class TestSessionIntegration:
+    def test_session_auto_enables_and_drains_violations(self):
+        with session(sanitize=True) as sess:
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            assert cluster.sanitizer is not None
+            ctx = first_context(cluster)
+            mr = ctx.reg_mr(64)
+            ctx.dereg_mr(mr)
+            with pytest.raises(VerbsError):
+                mr.read_u64(mr.addr)
+            assert sess.violation_count == 1
+            sess.checkpoint("phase-one")
+            # The run is sealed: its sanitizer is drained into the log
+            # (no double counting), while the cluster keeps its own copy.
+            assert cluster.sanitizer not in sess.sanitizers
+            assert sess.violation_count == 1
+            assert len(cluster.sanitizer.violations) == 1
+            report = sess.sanitizer_report()
+            assert "mr-lifetime" in report
+            # A second cluster in the same session is sanitized too.
+            second = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            assert second.sanitizer is not None
+            assert second.sanitizer is not cluster.sanitizer
+
+    def test_session_without_sanitize_stays_off(self):
+        with session() as _:
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            assert cluster.sanitizer is None
+
+
+class TestBenchCLI:
+    def test_sanitize_flag_reaches_the_cluster_and_reports(self, monkeypatch,
+                                                           capsys):
+        seen = {}
+
+        def tiny(scale=1.0):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            seen["sanitizer"] = cluster.sanitizer
+            return []
+
+        monkeypatch.setattr(bench_cli, "ALL_EXPERIMENTS", {"tiny": tiny})
+        assert bench_cli.main(["tiny", "--sanitize"]) == 0
+        assert seen["sanitizer"] is not None
+        assert "sanitizer" in capsys.readouterr().err
+
+    def test_violation_forces_nonzero_exit(self, monkeypatch, capsys):
+        def bad(scale=1.0):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            cluster.sanitizer.record("qp-state", "planted", node_id=0)
+            return []
+
+        monkeypatch.setattr(bench_cli, "ALL_EXPERIMENTS", {"bad": bad})
+        assert bench_cli.main(["bad", "--sanitize"]) == 1
+        assert "qp-state" in capsys.readouterr().err
+
+    def test_without_flag_cluster_is_unsanitized(self, monkeypatch):
+        seen = {}
+
+        def tiny(scale=1.0):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            seen["sanitizer"] = cluster.sanitizer
+            return []
+
+        monkeypatch.setattr(bench_cli, "ALL_EXPERIMENTS", {"tiny": tiny})
+        assert bench_cli.main(["tiny"]) == 0
+        assert seen["sanitizer"] is None

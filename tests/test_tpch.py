@@ -5,7 +5,6 @@ import pytest
 
 from repro import Cluster, ClusterConfig, EDR
 from repro.tpch import generate, reference_answer, run_query
-from repro.tpch.datagen import TPCHData
 from repro.tpch.schema import date_to_days
 
 

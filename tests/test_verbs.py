@@ -157,7 +157,8 @@ class TestCompletionQueue:
             wc = yield cq.wait()
             return (sim.now, wc.wr_id)
 
-        sim.call_at(100, lambda: cq.push(WorkCompletion(wr_id="late", opcode=Opcode.SEND)))
+        late = WorkCompletion(wr_id="late", opcode=Opcode.SEND)
+        sim.call_at(100, lambda: cq.push(late))
         assert sim.run_process(proc()) == (100, "late")
 
 
