@@ -1,0 +1,45 @@
+"""Kernel hot-path throughput: events/sec, packets/sec, fig8 wall-clock.
+
+The same measurement functions back ``repro-bench --kernel-bench`` (the
+``BENCH_kernel.json`` trajectory) and this pytest-benchmark suite; here
+each one runs under pytest-benchmark so local ``--benchmark-compare``
+workflows see the kernel alongside the figure benchmarks.  The CI gate
+lives in the ``perf`` job: fresh measurements against the committed
+``BENCH_kernel.json`` via ``python -m repro.bench.compare``.
+"""
+
+from conftest import run_once
+
+from repro.bench.kernel import (
+    bench_dispatch_events,
+    bench_fabric_packets,
+    bench_fig8_wall_clock,
+    bench_process_wakeups,
+)
+
+
+def test_dispatch_events_per_sec(benchmark):
+    result = run_once(benchmark, bench_dispatch_events, num_events=150_000)
+    assert result["detail"]["events"] >= 150_000
+    assert result["value"] > 0
+    print(f"\nkernel dispatch: {result['value']:,.0f} events/s")
+
+
+def test_process_wakeups_per_sec(benchmark):
+    result = run_once(benchmark, bench_process_wakeups, num_wakeups=80_000)
+    assert result["detail"]["wakeups"] >= 80_000
+    assert result["value"] > 0
+    print(f"\nprocess wakeups: {result['value']:,.0f} wakeups/s")
+
+
+def test_fabric_packets_per_sec(benchmark):
+    result = run_once(benchmark, bench_fabric_packets, num_packets=15_000)
+    assert result["detail"]["packets"] == 15_000
+    assert result["value"] > 0
+    print(f"\nfabric routing: {result['value']:,.0f} packets/s")
+
+
+def test_fig8_wall_clock(benchmark):
+    result = run_once(benchmark, bench_fig8_wall_clock, scale=0.02)
+    assert result["value"] > 0
+    print(f"\nfig8 (scale 0.02): {result['value']:.2f}s wall clock")

@@ -18,8 +18,7 @@ uses simple final markers.
 
 from __future__ import annotations
 
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
-from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.endpoint import (
     DataState,
@@ -30,7 +29,7 @@ from repro.core.endpoint import (
 )
 from repro.fabric.packet import Packet
 from repro.memory import Buffer, BufferPool
-from repro.sim import Event, Notify, RatePipe
+from repro.sim import Notify, RatePipe
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
 

@@ -28,7 +28,7 @@ forwarding when their progress engine runs.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, Sequence, Tuple
 from collections import deque
 
 from repro.core.endpoint import (
@@ -40,7 +40,7 @@ from repro.core.endpoint import (
 )
 from repro.fabric.packet import Packet
 from repro.memory import Buffer, BufferPool
-from repro.sim import Event, Mutex, Notify, Queue
+from repro.sim import Event, Mutex, Notify
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
 
@@ -211,7 +211,7 @@ class MPIRuntime:
                                packet.payload, meta)
             offset <<= 1
 
-    # -- the MPI calls used by the endpoint ----------------------------------------------
+    # -- the MPI calls used by the endpoint --------------------------------------------
 
     def mpi_bcast(self, members: Tuple[int, ...], tags: Dict[int, int],
                   payload: Any, length: int, deliver_self: bool = False):

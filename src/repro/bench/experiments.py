@@ -19,7 +19,7 @@ from repro.baselines.qperf import run_qperf
 from repro.bench.report import ExperimentResult, Series
 from repro.bench.workloads import run_broadcast, run_repartition
 from repro.cluster import Cluster
-from repro.core.designs import DESIGNS, design_properties
+from repro.core.designs import design_properties
 from repro.core.endpoint import EndpointConfig
 from repro.core.groups import TransmissionGroups
 from repro.core.stage import ShuffleStage
@@ -156,7 +156,7 @@ def fig9(network: NetworkConfig = EDR, nodes: int = 8,
     return thr, mem
 
 
-# -- Figure 10: throughput when scaling out ---------------------------------------------
+# -- Figure 10: throughput when scaling out --------------------------------------------
 
 
 def fig10(networks: Sequence[NetworkConfig] = (FDR, EDR),
@@ -235,7 +235,7 @@ def fig11(network: NetworkConfig = EDR, nodes: int = 16,
     )
 
 
-# -- Figure 12: connection setup cost ---------------------------------------------------
+# -- Figure 12: connection setup cost --------------------------------------------------
 
 
 def fig12(network: NetworkConfig = EDR,
@@ -283,7 +283,7 @@ def setup_crossover_mb(network: NetworkConfig = EDR, nodes: int = 8,
     return volume_gib * 1024.0
 
 
-# -- Figure 13: compute-intensive receiving fragment ----------------------------------------
+# -- Figure 13: compute-intensive receiving fragment -----------------------------------
 
 
 def fig13(network: NetworkConfig = EDR, nodes: int = 8,
@@ -322,7 +322,7 @@ def fig13(network: NetworkConfig = EDR, nodes: int = 8,
     )
 
 
-# -- Figure 14: TPC-H ---------------------------------------------------------------------
+# -- Figure 14: TPC-H ------------------------------------------------------------------
 
 
 def fig14a(scale_factor: float = 0.06, nodes: int = 8,
@@ -387,7 +387,7 @@ def fig14_scaling(query: str, scale_factor_per_node: float = 0.0075,
     )
 
 
-# -- Table 1 ------------------------------------------------------------------------------
+# -- Table 1 ---------------------------------------------------------------------------
 
 
 def table1(nodes: int = 16, threads: int = 8) -> ExperimentResult:

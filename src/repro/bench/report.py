@@ -7,8 +7,8 @@ table, one row per x value and one column per series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from dataclasses import dataclass
+from typing import Any, List
 
 __all__ = ["Series", "ExperimentResult", "render"]
 

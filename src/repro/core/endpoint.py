@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.memory import Buffer
-from repro.sim import Mutex, Notify, Queue
+from repro.sim import Mutex, Queue
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
 
@@ -108,7 +108,8 @@ class EndpointConfig:
             raise ValueError("need at least one buffer per connection")
         if self.credit_frequency < 1:
             raise ValueError("credit frequency must be >= 1")
-        if self.credit_frequency > self.buffers_per_connection * self.threads_per_endpoint:
+        if (self.credit_frequency
+                > self.buffers_per_connection * self.threads_per_endpoint):
             # Otherwise the final write-back never happens and the sender
             # can starve for credit at end of stream (§5.1.1 discussion).
             raise ValueError(

@@ -11,7 +11,7 @@ that group.  The three patterns of Figure 3:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 __all__ = ["TransmissionGroups"]
 

@@ -19,7 +19,7 @@ Two partitioning modes are provided:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

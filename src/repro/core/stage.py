@@ -18,7 +18,7 @@ from repro.core.designs import DESIGNS, Design
 from repro.core.endpoint import EndpointConfig, ReceiveEndpoint, SendEndpoint
 from repro.core.groups import TransmissionGroups
 from repro.fabric.network import Fabric
-from repro.sim import AllOf, Event
+from repro.sim import AllOf
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
 

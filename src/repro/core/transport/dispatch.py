@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.sim import fastpath
 from repro.verbs.constants import Opcode
 
 __all__ = ["CompletionDispatcher"]
@@ -38,13 +39,26 @@ class CompletionDispatcher:
         return self
 
     def start(self, name: str) -> "CompletionDispatcher":
-        """Spawn the dispatch loop as a named simulation process."""
-        self.ep.sim.process(self._run(), name=name)
+        """Begin consuming the CQ.
+
+        On the fast path the dispatcher subscribes to the CQ directly
+        (event-driven, no process or per-completion wait event); the
+        legacy ``while True: yield cq.wait()`` process is kept as the A/B
+        oracle behind ``REPRO_FASTPATH=0``.  Delivery order is identical
+        either way — see :meth:`CompletionQueue.subscribe`.
+        """
+        if fastpath.enabled():
+            self.cq.subscribe(self._dispatch)
+        else:
+            self.ep.sim.process(self._run(), name=name)
         return self
+
+    def _dispatch(self, wc) -> None:
+        handler = self._handlers.get(wc.opcode)
+        if handler is not None:
+            handler(wc)
 
     def _run(self):
         while True:
             wc = yield self.cq.wait()
-            handler = self._handlers.get(wc.opcode)
-            if handler is not None:
-                handler(wc)
+            self._dispatch(wc)

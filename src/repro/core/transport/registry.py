@@ -16,7 +16,7 @@ classes, register the kind, and build a ``Design`` that names it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from typing import Dict, Tuple
 
 __all__ = [
     "EndpointBackend",

@@ -8,7 +8,7 @@ of real queries.
 
 from __future__ import annotations
 
-from repro.engine.operator import Operator, OpState, batch_nbytes
+from repro.engine.operator import Operator, batch_nbytes
 
 __all__ = ["ComputeOperator"]
 

@@ -9,7 +9,7 @@ in-memory engines [20].
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 from numpy.lib import recfunctions as rfn

@@ -6,7 +6,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.operator import Operator, OpState
+from repro.engine.operator import Operator
 
 __all__ = ["MapOperator"]
 

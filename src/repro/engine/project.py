@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
-import numpy as np
 from numpy.lib import recfunctions as rfn
 
-from repro.engine.operator import Operator, OpState
+from repro.engine.operator import Operator
 
 __all__ = ["ProjectOperator"]
 

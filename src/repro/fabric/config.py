@@ -15,7 +15,7 @@ in bytes per nanosecond, which is numerically identical to GB/s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["NetworkConfig", "ClusterConfig", "FDR", "EDR"]
 

@@ -12,12 +12,12 @@ errors, §4.4.2) is available for failure testing and defaults to off.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.fabric.config import ClusterConfig, NetworkConfig
 from repro.fabric.nic import NIC
 from repro.fabric.packet import Packet
-from repro.sim import Event, Simulator
+from repro.sim import Event, Simulator, fastpath
 from repro.telemetry.core import Telemetry
 
 __all__ = ["Node", "Fabric"]
@@ -70,6 +70,11 @@ class Fabric:
         #: attached UD QPs.  The switch replicates a single sender packet
         #: to every member, so the sender's port is charged only once.
         self.mcast_members: dict = {}
+        #: route packets via flat callback chains instead of per-packet
+        #: generator processes.  Both paths are position-isomorphic (same
+        #: heap entries at the same simulated times, same RNG draw order),
+        #: so results are bit-identical; see repro.sim.fastpath.
+        self.flat_routing = fastpath.enabled()
 
     @property
     def num_nodes(self) -> int:
@@ -99,11 +104,57 @@ class Fabric:
         if packet.src_node == packet.dst_node:
             return self._route_loopback(packet, egress_event)
         done = Event(self.sim)
-        self.sim.process(
-            self._route_proc(packet, unordered, lossy, done, egress_event),
-            name=f"route-{packet.kind}-{packet.src_node}->{packet.dst_node}",
-        )
+        if self.flat_routing:
+            self._route_flat(packet, unordered, lossy, done, egress_event)
+        else:
+            self.sim.process(
+                self._route_proc(packet, unordered, lossy, done, egress_event),
+                name=f"route-{packet.kind}-{packet.src_node}->{packet.dst_node}",
+            )
         return done
+
+    def _route_flat(self, packet: Packet, unordered: bool, lossy: bool,
+                    done: Event, egress_event: Optional[Event]) -> None:
+        """Flat-callback twin of :meth:`_route_proc`.
+
+        Each stage schedules the next directly on the kernel, so the only
+        per-packet allocations are the four closures — no Process, no
+        generator frame, no termination event.  The initial ``call_soon``
+        stands exactly where the legacy process bootstrap stood, and the
+        jitter/loss draws stay inside the stage callbacks, so heap entry
+        order and RNG draw order match the generator version event for
+        event.
+        """
+        sim = self.sim
+        config = self.config
+        src_nic = self.nodes[packet.src_node].nic
+        dst_nic = self.nodes[packet.dst_node].nic
+
+        def start() -> None:
+            src_nic.submit_tx(packet.wire_bytes, after_egress)
+
+        def after_egress() -> None:
+            if egress_event is not None:
+                egress_event.succeed(packet)
+            latency = config.switch_latency_ns
+            if unordered and config.ud_jitter_ns:
+                latency += self._rng.randrange(config.ud_jitter_ns)
+            sim.call_later(latency, after_switch)
+
+        def after_switch() -> None:
+            if lossy and config.ud_loss_probability > 0:
+                if self._rng.random() < config.ud_loss_probability:
+                    packet.dropped = True
+                    self.dropped_messages += 1
+                    done.succeed(packet)
+                    return
+            dst_nic.submit_rx(packet.wire_bytes, packet.dst_qpn, deliver)
+
+        def deliver() -> None:
+            self.delivered_messages += 1
+            done.succeed(packet)
+
+        sim.call_soon(start)
 
     def mcast_attach(self, mgid: int, node_id: int, qpn: int) -> None:
         """Attach a UD QP to a multicast group."""
@@ -127,10 +178,9 @@ class Fabric:
             if m[0] != packet.src_node
         ]
         done = Event(self.sim)
+        src_nic = self.nodes[packet.src_node].nic
 
-        def proc():
-            src = self.nodes[packet.src_node]
-            yield src.nic.transmit(packet.wire_bytes)
+        def fan_out() -> None:
             if egress_event is not None:
                 egress_event.succeed(packet)
             deliveries = []
@@ -138,7 +188,15 @@ class Fabric:
                 deliveries.append(self._mcast_leg(packet, node_id, qpn))
             done.succeed(deliveries)
 
-        self.sim.process(proc(), name=f"route-mcast-{mgid}")
+        if self.flat_routing:
+            self.sim.call_soon(lambda: src_nic.submit_tx(packet.wire_bytes,
+                                                         fan_out))
+        else:
+            def proc():
+                yield src_nic.transmit(packet.wire_bytes)
+                fan_out()
+
+            self.sim.process(proc(), name=f"route-mcast-{mgid}")
         return done
 
     def _mcast_leg(self, packet: Packet, node_id: int, qpn: int) -> Event:
@@ -152,6 +210,35 @@ class Fabric:
             length=packet.length, wire_bytes=packet.wire_bytes,
             payload=packet.payload, meta=packet.meta,
         )
+
+        if self.flat_routing:
+            sim = self.sim
+            config = self.config
+
+            def start() -> None:
+                # Jitter draws at switch time, not attach time, matching
+                # the legacy process's first resumption.
+                latency = config.switch_latency_ns
+                if config.ud_jitter_ns:
+                    latency += self._rng.randrange(config.ud_jitter_ns)
+                sim.call_later(latency, after_switch)
+
+            def after_switch() -> None:
+                if config.ud_loss_probability > 0:
+                    if self._rng.random() < config.ud_loss_probability:
+                        copy.dropped = True
+                        self.dropped_messages += 1
+                        leg.succeed(copy)
+                        return
+                self.nodes[node_id].nic.submit_rx(copy.wire_bytes, qpn,
+                                                  deliver)
+
+            def deliver() -> None:
+                self.delivered_messages += 1
+                leg.succeed(copy)
+
+            sim.call_soon(start)
+            return leg
 
         def proc():
             latency = self.config.switch_latency_ns
@@ -181,6 +268,22 @@ class Fabric:
         """
         done = Event(self.sim)
         node = self.nodes[packet.src_node]
+        if self.flat_routing:
+            def start() -> None:
+                node.nic.submit_tx(packet.wire_bytes, after_egress)
+
+            def after_egress() -> None:
+                if egress_event is not None:
+                    egress_event.succeed(packet)
+                node.nic.submit_rx(packet.wire_bytes, packet.dst_qpn,
+                                   deliver)
+
+            def deliver() -> None:
+                self.delivered_messages += 1
+                done.succeed(packet)
+
+            self.sim.call_soon(start)
+            return done
 
         def proc():
             yield node.nic.transmit(packet.wire_bytes)

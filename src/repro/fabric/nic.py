@@ -18,7 +18,7 @@ the degradation of the many-Queue-Pair designs on FDR hardware at 16 nodes
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim import Event, RatePipe, Simulator
 
@@ -127,3 +127,23 @@ class NIC:
         self.rx_messages += 1
         penalty = self._qp_touch_penalty(qpn)
         return self.ingress.transmit(wire_bytes, extra_ns=penalty)
+
+    def submit_wr(self, qpn: int, func: "Callable[[], None]",
+                  extra_ns: int = 0) -> None:
+        """Hot-path twin of :meth:`process_wr`."""
+        penalty = self._qp_touch_penalty(qpn)
+        self.processor.submit_occupy(
+            self.config.nic_wr_ns + penalty + extra_ns, func)
+
+    def submit_tx(self, wire_bytes: int, func: "Callable[[], None]") -> None:
+        """Hot-path twin of :meth:`transmit`: run ``func()`` at completion
+        instead of returning an event (see :meth:`RatePipe.submit`)."""
+        self.tx_messages += 1
+        self.egress.submit(wire_bytes, func)
+
+    def submit_rx(self, wire_bytes: int, qpn: int,
+                  func: "Callable[[], None]") -> None:
+        """Hot-path twin of :meth:`receive`."""
+        self.rx_messages += 1
+        penalty = self._qp_touch_penalty(qpn)
+        self.ingress.submit(wire_bytes, func, extra_ns=penalty)

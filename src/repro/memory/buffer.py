@@ -9,7 +9,7 @@ accounting of Fig 9(b) meaningful.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.verbs.device import VerbsContext
 from repro.verbs.memory import MemoryRegion

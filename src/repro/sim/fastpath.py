@@ -1,0 +1,32 @@
+"""Runtime toggle for the coalesced fabric/CQ fast path.
+
+The fast path replaces per-packet generator processes with flat callback
+chains that are position-isomorphic to the legacy generators (see
+DESIGN.md, "Kernel fast path"): every heap entry is created at the same
+simulated time and code position, so simulated end times and modeled
+metrics are bit-identical.  The legacy generators are kept behind this
+switch as the oracle for the A/B determinism suite
+(``tests/test_fastpath_determinism.py``), and as a debugging aid — the
+generator code reads like the prose protocol description.
+
+Set ``REPRO_FASTPATH=0`` in the environment to select the legacy path.
+Consumers read the flag once at construction time (``Fabric.__init__``,
+``CompletionDispatcher.start``), so flipping the variable mid-simulation
+has no effect.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled"]
+
+_FALSEY = ("0", "false", "no", "off", "")
+
+
+def enabled(default: bool = True) -> bool:
+    """Is the fast path on?  Honors the ``REPRO_FASTPATH`` env var."""
+    value = os.environ.get("REPRO_FASTPATH")
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSEY

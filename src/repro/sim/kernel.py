@@ -1,16 +1,43 @@
 """Core discrete-event simulation kernel.
 
 Time is an integer number of simulated nanoseconds.  The design follows the
-classic event-loop model: a priority queue of ``(time, sequence, event)``
-entries is drained in order, and each event runs its callbacks when popped.
+classic event-loop model: a priority queue of ``(time, sequence, entry)``
+entries is drained in order, and each entry runs its callbacks when popped.
 Processes are generators; yielding an :class:`Event` suspends the process
 until the event fires.
+
+Hot-path notes (the "kernel fast path", see DESIGN.md):
+
+* :meth:`Simulator.run` and :meth:`Simulator.run_process` share a batched
+  drain loop that pops all entries of one timestamp in an inner loop with
+  locally bound heap operations, and flushes the telemetry counters once
+  per drain instead of once per event.
+* Plain callback scheduling (:meth:`Simulator.call_soon` /
+  :meth:`Simulator.call_at` / :meth:`Simulator.call_later`) pushes the
+  bare callable as the heap payload — no :class:`Event`, no carrier
+  object, no callback list.  The drain loop distinguishes payloads with
+  one ``isinstance(entry, Event)`` check.
+* :class:`Timeout` objects consumed by exactly one waiting process (the
+  ubiquitous ``yield sim.timeout(...)`` pattern) are returned to a
+  per-simulator free list and reused by the next ``timeout()`` call.
+  Retaining a fired Timeout past the resumption of its waiter and reading
+  ``.value`` / ``.processed`` later is unsupported; attach a callback or
+  use a fresh :class:`Event` for that.
+* Starting a :class:`Process` schedules its first resumption directly
+  instead of allocating a bootstrap :class:`Event`.
+
+None of this changes observable behaviour: heap entries are created at the
+same simulated times in the same relative order as before, so simulated
+end times are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 __all__ = [
     "SimError",
@@ -44,6 +71,9 @@ class Interrupt(Exception):
 _PENDING = 0  # not triggered yet
 _TRIGGERED = 1  # queued, callbacks will run when popped
 _PROCESSED = 2  # callbacks have run
+
+#: cap on the per-simulator Timeout free list (bounds idle memory).
+_POOL_MAX = 4096
 
 
 class Event:
@@ -113,7 +143,7 @@ class Event:
         to run immediately (at the current simulated time).
         """
         if self._state == _PROCESSED:
-            self.sim.call_at(self.sim.now, lambda: callback(self))
+            self.sim.call_soon(lambda: callback(self))
         else:
             self._callbacks.append(callback)
 
@@ -129,7 +159,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Instances consumed by a single waiting process are pooled: prefer
+    ``sim.timeout(...)`` over direct construction so reuse can kick in,
+    and do not retain a fired Timeout past its waiter's resumption.
+    """
 
     __slots__ = ()
 
@@ -141,6 +176,22 @@ class Timeout(Event):
         self._value = value
         sim._enqueue(delay, self)
 
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        # Recycle the ``yield sim.timeout(...)`` pattern: exactly one
+        # waiter, and that waiter is a process resumption.  Condition
+        # events (_check callbacks), multi-waiter timeouts and explicit
+        # user callbacks keep the object alive and are never pooled.
+        if len(callbacks) == 1 and \
+                getattr(callbacks[0], "__func__", None) is Process._resume:
+            pool = self.sim._timeout_pool
+            if len(pool) < _POOL_MAX:
+                self._value = None
+                pool.append(self)
+
 
 class Process(Event):
     """A running generator; doubles as the event fired at termination.
@@ -151,19 +202,26 @@ class Process(Event):
     the process.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_observed", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on", "_observed",
+                 "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
         self._observed = False
         self.name = name or getattr(generator, "__name__", "process")
         sim.processes_started += 1
-        # Kick the process off at the current time.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick the process off at the current time (directly scheduled —
+        # no bootstrap Event allocation).
+        sim.call_soon(self._bootstrap)
+
+    def _bootstrap(self) -> None:
+        # ``_init_event`` is a shared, already-processed Event carrying
+        # ``ok=True, value=None`` — the legacy bootstrap's trigger value.
+        self._resume(self.sim._init_event)
 
     @property
     def is_alive(self) -> bool:
@@ -183,10 +241,11 @@ class Process(Event):
         poker.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._state != _PENDING:
             # The process already ended (e.g. interrupted); stale wakeup.
             return
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting = self._waiting_on
+        if waiting is not None and event is not waiting:
             # An interrupt arrived while waiting; the original event may
             # still fire later, and must then be ignored.
             if isinstance(event.value, Interrupt):
@@ -197,10 +256,10 @@ class Process(Event):
             self._waiting_on = None
         self.sim.process_wakeups += 1
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._send(event._value)
             else:
-                target = self._generator.throw(event.value)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -212,7 +271,7 @@ class Process(Event):
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances"
             )
-            self._generator.throw(exc)
+            self._throw(exc)
             return
         self._waiting_on = target
         target.add_callback(self._resume)
@@ -285,30 +344,78 @@ class Simulator:
 
     def __init__(self):
         self.now: int = 0
-        self._heap: List = []
-        self._sequence = 0
+        # Calendar-bucket queue: ``_heap`` holds one plain-int entry per
+        # distinct pending timestamp; ``_buckets`` maps each timestamp to
+        # its entries in schedule order.  Dispatch order — timestamps
+        # ascending, insertion order within a timestamp — is exactly the
+        # order of the classic ``(time, sequence)`` heap, but a burst of
+        # same-time entries costs one heap operation instead of one each,
+        # and heap comparisons are int-int instead of tuple-tuple.
+        self._heap: List[int] = []
+        self._buckets: Dict[int, List] = {}
         self._defunct: List[Process] = []
         # Telemetry counters, harvested lazily by repro.telemetry (the
-        # kernel stays dependency-free): plain int adds per event.
+        # kernel stays dependency-free): plain int adds per event.  The
+        # batched drain loop accumulates them locally and flushes once per
+        # drain, so mid-drain reads may lag.
         self.events_dispatched = 0
         self.process_wakeups = 0
         self.processes_started = 0
         self.max_queue_depth = 0
+        # Free list for pooled Timeouts (see module docstring).
+        self._timeout_pool: List[Timeout] = []
+        # Shared bootstrap event handed to every process's first resume.
+        self._init_event = Event(self)
+        self._init_event._state = _PROCESSED
 
     # -- scheduling ------------------------------------------------------
 
     def _enqueue(self, delay: int, event: Event) -> None:
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + int(delay), self._sequence, event))
+        when = self.now + int(delay)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            _heappush(self._heap, when)
+        else:
+            bucket.append(event)
 
-    def call_at(self, when: int, func: Callable[[], None]) -> Event:
-        """Run ``func()`` at absolute simulated time ``when``."""
-        event = Event(self)
-        event.add_callback(lambda _e: func())
-        event.succeed(delay=when - self.now)
-        return event
+    def call_soon(self, func: Callable[[], None]) -> None:
+        """Run ``func()`` at the current simulated time, after everything
+        already queued for this timestamp."""
+        when = self.now
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [func]
+            _heappush(self._heap, when)
+        else:
+            bucket.append(func)
+
+    def call_at(self, when: int, func: Callable[[], None]) -> None:
+        """Run ``func()`` at absolute simulated time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimError(
+                f"cannot schedule into the past (when={when} < now={self.now})"
+            )
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [func]
+            _heappush(self._heap, when)
+        else:
+            bucket.append(func)
+
+    def call_later(self, delay: int, func: Callable[[], None]) -> None:
+        """Run ``func()`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        when = self.now + int(delay)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [func]
+            _heappush(self._heap, when)
+        else:
+            bucket.append(func)
 
     # -- event factories -------------------------------------------------
 
@@ -317,7 +424,16 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` ns from now."""
+        """Create an event that fires ``delay`` ns from now (pooled)."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t._state = _TRIGGERED
+            t._value = value
+            self._enqueue(delay, t)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -332,40 +448,148 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
 
-    def step(self) -> None:
-        """Process the next event on the queue."""
-        depth = len(self._heap)
-        if depth > self.max_queue_depth:
-            self.max_queue_depth = depth
-        self.events_dispatched += 1
-        when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
-        event._run_callbacks()
+    def _reap_defunct(self) -> None:
         # Surface exceptions from processes nobody waits on, so bugs do not
         # vanish silently.  A failed process stays on the defunct list until
         # its own termination event has been processed; if no waiter
         # consumed the failure by then, re-raise it here.
+        # Mutated in place: _drain holds a reference to the same list.
+        defunct = self._defunct
+        still_pending = []
+        for proc in defunct:
+            if proc._state != _PROCESSED:
+                still_pending.append(proc)
+            elif not proc.ok and not proc._observed:
+                defunct[:] = still_pending
+                raise proc.value
+        defunct[:] = still_pending
+
+    def step(self) -> None:
+        """Process the next entry on the queue."""
+        heap = self._heap
+        when = heap[0]
+        depth = len(heap)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self.events_dispatched += 1
+        bucket = self._buckets[when]
+        entry = bucket.pop(0)
+        if not bucket:
+            del self._buckets[when]
+            _heappop(heap)
+        self.now = when
+        if isinstance(entry, Event):
+            entry._run_callbacks()
+        else:
+            entry()
         if self._defunct:
-            still_pending = []
-            for proc in self._defunct:
-                if proc._state != _PROCESSED:
-                    still_pending.append(proc)
-                elif not proc.ok and not proc._observed:
-                    self._defunct = still_pending
-                    raise proc.value
-            self._defunct = still_pending
+            self._reap_defunct()
+
+    def _drain(self, until: Optional[int], stop: Optional[Event]) -> None:
+        """The shared hot loop: dispatch entries in (time, sequence) order.
+
+        ``until`` bounds simulated time (exclusive); ``stop`` halts the
+        loop once that event has been processed.  All entries of one
+        timestamp are popped in the inner loop so the time comparison and
+        attribute loads happen once per timestamp, not once per event.
+        Telemetry counters are accumulated in locals and flushed on exit
+        (including on exceptions).
+        """
+        heap = self._heap
+        buckets = self._buckets
+        pop = _heappop
+        defunct = self._defunct
+        dispatched = 0
+        max_depth = self.max_queue_depth
+        sample = 0
+        try:
+            # The loop is duplicated for the unbounded stop-less case
+            # (plain ``run()``, which is every figure run and benchmark)
+            # so the common path pays neither a per-batch ``until`` check
+            # nor a per-event stop check.
+            if until is None and stop is None:
+                while heap:
+                    when = pop(heap)
+                    self.now = when
+                    # Queue depth is sampled every 64th timestamp batch
+                    # (not before every pop) and counts distinct pending
+                    # timestamps, to keep the loop lean; the gauge stays
+                    # deterministic but is an approximation — it is one
+                    # of the interpreter self-counters exempt from
+                    # fast-path invariance (see DESIGN.md).
+                    sample -= 1
+                    if sample < 0:
+                        sample = 63
+                        depth = len(heap)
+                        if depth > max_depth:
+                            max_depth = depth
+                    # Entries scheduled for ``when`` mid-batch go to a
+                    # fresh bucket that the outer loop dispatches next,
+                    # exactly where their sequence numbers would have
+                    # placed them; this bucket cannot grow under us.
+                    for entry in buckets.pop(when):
+                        dispatched += 1
+                        if isinstance(entry, Event):
+                            entry._run_callbacks()
+                        else:
+                            entry()
+                        if defunct:
+                            self._reap_defunct()
+            else:
+                while heap:
+                    when = heap[0]
+                    if until is not None and when >= until:
+                        break
+                    pop(heap)
+                    self.now = when
+                    sample -= 1
+                    if sample < 0:
+                        sample = 63
+                        depth = len(heap)
+                        if depth > max_depth:
+                            max_depth = depth
+                    bucket = buckets.pop(when)
+                    for i, entry in enumerate(bucket):
+                        dispatched += 1
+                        if isinstance(entry, Event):
+                            entry._run_callbacks()
+                        else:
+                            entry()
+                        if defunct:
+                            self._reap_defunct()
+                        if stop is not None and stop._state == _PROCESSED:
+                            # Preserve the rest of the batch for a later
+                            # run; mid-batch entries at ``when`` may have
+                            # re-created the bucket and must come after.
+                            rest = bucket[i + 1:]
+                            if rest:
+                                existing = buckets.get(when)
+                                if existing is None:
+                                    buckets[when] = rest
+                                    _heappush(heap, when)
+                                else:
+                                    existing[:0] = rest
+                            return
+        finally:
+            self.events_dispatched += dispatched
+            self.max_queue_depth = max_depth
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run until the event queue drains or ``until`` (exclusive).
+        """Run until the event queue drains or ``until`` is reached.
+
+        Contract — the bound is **exclusive**: every event scheduled
+        strictly before ``until`` is processed; an event scheduled exactly
+        at ``until`` stays queued, and the clock stops at ``until`` so a
+        subsequent ``run()`` resumes with those events due at the current
+        time.  The clock advances to ``until`` even when the queue drains
+        early, and never moves backwards: ``until <= now`` processes
+        nothing and leaves the clock unchanged.
 
         Returns the simulated time at which the run stopped.
         """
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when >= until:
-                self.now = until
-                return self.now
-            self.step()
+        self._drain(until, None)
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
@@ -375,13 +599,9 @@ class Simulator:
         failure.  Other already-scheduled activities keep running alongside.
         """
         proc = self.process(generator, name=name)
-        while self._heap and not proc.triggered:
-            self.step()
-        if not proc.triggered:
+        self._drain(None, proc)
+        if proc._state != _PROCESSED:
             raise SimError(f"process {proc.name!r} deadlocked (event queue empty)")
-        # Drain the callback that marks the process processed.
-        while self._heap and not proc.processed:
-            self.step()
         if not proc.ok:
             raise proc.value
         return proc.value

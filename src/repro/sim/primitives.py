@@ -9,7 +9,7 @@ serialization without per-packet events.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Callable, Deque, Dict, List
 
 from repro.sim.kernel import Event, SimError, Simulator
 
@@ -183,6 +183,11 @@ class RatePipe:
         self.rate = rate
         self.name = name
         self._busy_until: int = 0
+        # Serialization delays by unit count.  Real traffic uses a handful
+        # of distinct message sizes, so the division in the hot path is
+        # almost always a dict hit; bounded so adversarial size mixes
+        # cannot grow it without limit.
+        self._ser_cache: Dict[float, int] = {}
         self.total_units: float = 0.0
         #: cumulative occupied time (drives utilization telemetry).
         self.busy_ns: int = 0
@@ -207,6 +212,15 @@ class RatePipe:
             start, start + duration, cat="fabric",
             args={"bytes": int(units)} if units else None)
 
+    def _serialization_ns(self, units: float) -> int:
+        cache = self._ser_cache
+        duration = cache.get(units)
+        if duration is None:
+            duration = int(units / self.rate)
+            if len(cache) < 1024:
+                cache[units] = duration
+        return duration
+
     def transmit(self, units: float, extra_ns: int = 0) -> Event:
         """Submit ``units`` of work; returns the completion event.
 
@@ -216,7 +230,7 @@ class RatePipe:
         if units < 0:
             raise SimError(f"cannot transmit negative units: {units}")
         start = max(self.sim.now, self._busy_until)
-        duration = int(units / self.rate) + int(extra_ns)
+        duration = self._serialization_ns(units) + int(extra_ns)
         self._busy_until = start + duration
         self.total_units += units
         self.busy_ns += duration
@@ -225,6 +239,22 @@ class RatePipe:
         event = Event(self.sim)
         event.succeed(delay=self._busy_until - self.sim.now)
         return event
+
+    def submit(self, units: float, func: Callable[[], None],
+               extra_ns: int = 0) -> None:
+        """Hot-path twin of :meth:`transmit`: identical bookkeeping and
+        completion time, but runs ``func()`` at completion via a pooled
+        kernel carrier instead of allocating an :class:`Event`."""
+        if units < 0:
+            raise SimError(f"cannot transmit negative units: {units}")
+        start = max(self.sim.now, self._busy_until)
+        duration = self._serialization_ns(units) + int(extra_ns)
+        self._busy_until = start + duration
+        self.total_units += units
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, units)
+        self.sim.call_later(self._busy_until - self.sim.now, func)
 
     def occupy(self, duration_ns: int) -> Event:
         """Occupy the pipe for a fixed duration (rate-independent work)."""
@@ -237,6 +267,17 @@ class RatePipe:
         event = Event(self.sim)
         event.succeed(delay=self._busy_until - self.sim.now)
         return event
+
+    def submit_occupy(self, duration_ns: int,
+                      func: Callable[[], None]) -> None:
+        """Hot-path twin of :meth:`occupy` (see :meth:`submit`)."""
+        start = max(self.sim.now, self._busy_until)
+        duration = int(duration_ns)
+        self._busy_until = start + duration
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, 0)
+        self.sim.call_later(self._busy_until - self.sim.now, func)
 
     @property
     def busy_until(self) -> int:

@@ -22,7 +22,7 @@ instruments so instrumented code needs no ``if enabled`` branches.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 __all__ = [
     "Counter",
@@ -85,7 +85,8 @@ class Histogram:
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_NS_BUCKETS):
         if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError(f"histogram buckets must be sorted and non-empty: {buckets}")
+            raise ValueError(
+                f"histogram buckets must be sorted and non-empty: {buckets}")
         self.name = name
         self.buckets = tuple(buckets)
         self.counts = [0] * (len(self.buckets) + 1)

@@ -11,10 +11,9 @@ endpoint identifiers (used like a TCP address/port pair).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict
 
-from repro.sim import Simulator
-from repro.verbs.constants import AddressHandle, QPType, VerbsError
+from repro.verbs.constants import AddressHandle, VerbsError
 from repro.verbs.device import VerbsContext
 from repro.verbs.qp import QueuePair
 

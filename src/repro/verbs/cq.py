@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Callable, Deque, List, Optional
 
 from repro.sim import Event, Queue, Simulator
 from repro.verbs.constants import Opcode, VerbsError, WCStatus
@@ -45,7 +46,10 @@ class CompletionQueue:
     * :meth:`poll` — the non-blocking ``ibv_poll_cq`` equivalent;
     * :meth:`wait` — a blocking get used by simulation processes instead of
       spinning (a real thread busy-polls; burning simulated events to model
-      an idle spin would add nothing but cost).
+      an idle spin would add nothing but cost);
+    * :meth:`subscribe` — the event-driven hot path: one callback consumes
+      every completion without a process, a getter event, or a re-arm per
+      entry.  A CQ is either subscribed or polled/waited on, never both.
     """
 
     def __init__(self, sim: Simulator, depth: int = 4096):
@@ -56,26 +60,76 @@ class CompletionQueue:
         self._entries = Queue(sim)
         self.pushed = 0
         self.polled = 0
+        #: event-driven consumer (see :meth:`subscribe`).
+        self._subscriber: Optional[Callable[[WorkCompletion], None]] = None
+        self._pending: Deque[WorkCompletion] = deque()
+        self._tick_scheduled = False
         #: runtime sanitizer hook; ``None`` keeps the hot path branch-only.
         self.sanitizer: Optional[Any] = None
         #: owning node, stamped by VerbsContext.create_cq for reporting.
         self.node_id = -1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + len(self._pending)
 
     def push(self, wc: WorkCompletion) -> None:
         """Deposit a completion (called by the simulated NIC)."""
         if self.sanitizer is not None:
             self.sanitizer.on_cq_push(self, wc)
-        if len(self._entries) >= self.depth:
+        if len(self) >= self.depth:
             # A real adapter raises a fatal async "CQ overrun" event.
             raise VerbsError(f"CQ overrun (depth={self.depth})")
         self.pushed += 1
-        self._entries.put(wc)
+        if self._subscriber is not None:
+            self._pending.append(wc)
+            if not self._tick_scheduled:
+                self._tick_scheduled = True
+                self.sim.call_soon(self._tick)
+        else:
+            self._entries.put(wc)
+
+    def subscribe(self, consumer: Callable[[WorkCompletion], None]) -> None:
+        """Consume every completion with ``consumer(wc)``, event-driven.
+
+        Completions are delivered one per kernel dispatch in FIFO order:
+        a push onto an idle CQ schedules a delivery tick at the exact heap
+        position where the blocking :meth:`wait` path would have resumed
+        its waiter, and the follow-up tick for a backlogged entry is
+        scheduled only after the consumer returns — matching the
+        wait/handle/re-wait cycle of a dispatch process tick for tick (so
+        event order is bit-identical; see DESIGN.md, "Kernel fast path").
+        """
+        if self._subscriber is not None:
+            raise VerbsError("CQ already has a subscriber")
+        self._subscriber = consumer
+        # Robustness: adopt anything already queued (none in practice —
+        # endpoints subscribe at construction time, before the run).
+        while True:
+            ok, wc = self._entries.try_get()
+            if not ok:
+                break
+            self._pending.append(wc)
+        if self._pending and not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.sim.call_soon(self._tick)
+
+    def _tick(self) -> None:
+        wc = self._pending.popleft()
+        self.polled += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_cq_consumed(self, wc)
+        self._subscriber(wc)  # type: ignore[misc]
+        # Re-armed only now: the consumer's own scheduling must land
+        # before the next delivery, as it does in the blocking-wait cycle.
+        if self._pending:
+            self.sim.call_soon(self._tick)
+        else:
+            self._tick_scheduled = False
 
     def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
         """Non-blocking poll; returns up to ``max_entries`` completions."""
+        if self._subscriber is not None:
+            raise VerbsError("cannot poll() a subscribed CQ")
         out: List[WorkCompletion] = []
         while len(out) < max_entries:
             ok, wc = self._entries.try_get()
@@ -95,6 +149,8 @@ class CompletionQueue:
         waiting process resumes, so the sanitizer sees a completion as
         consumed by the time a dispatcher handler touches its buffer.
         """
+        if self._subscriber is not None:
+            raise VerbsError("cannot wait() on a subscribed CQ")
         event = self._entries.get()
         event.add_callback(self._on_waited)
         return event

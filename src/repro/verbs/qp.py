@@ -167,6 +167,17 @@ class QueuePair:
             san.track_post_send(self, wr)
         self._send_outstanding += 1
         self.sends_posted += 1
+        # The hot path drives the per-message protocol as a flat callback
+        # chain; the generator processes are the behavioural oracle behind
+        # REPRO_FASTPATH=0 (see repro.sim.fastpath).  RDMA Read/Write stay
+        # on the generator path — they are off the shuffle hot loop.
+        if self.ctx.fabric.flat_routing:
+            if self.qp_type is QPType.UD:
+                self._ud_send_flat(wr)
+                return
+            if wr.opcode is Opcode.SEND:
+                self._rc_send_flat(wr)
+                return
         if self.qp_type is QPType.RC:
             handlers = {
                 Opcode.SEND: self._rc_send,
@@ -246,6 +257,73 @@ class QueuePair:
         self.ctx.tracer.complete(
             self.ctx.node_id, f"qp{self.qpn}", "rc-send", t0,
             self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
+
+    def _rc_send_flat(self, wr: SendWR) -> None:
+        """Flat-callback twin of :meth:`_rc_send`.
+
+        Every heap entry (NIC processing, route stages, the receive-queue
+        get, the ack) is created at the same simulated time and code
+        position as in the generator version, so event order, RNR stall
+        accounting and trace spans are bit-identical — only the Process
+        and generator frame are gone.
+        """
+        ctx = self.ctx
+        sim = ctx.sim
+        config = ctx.config
+        peer = self._peer
+        assert peer is not None  # post_send validated the connection
+        t0 = sim.now
+
+        def start() -> None:
+            ctx.nic.submit_wr(self.qpn, after_wr)
+
+        def after_wr() -> None:
+            packet = Packet(
+                src_node=ctx.node_id, dst_node=peer.node_id,
+                src_qpn=self.qpn, dst_qpn=peer.qpn, kind="SEND",
+                length=wr.length,
+                wire_bytes=config.wire_bytes(wr.length, "RC"),
+                payload=None if wr.buffer is None else wr.buffer.payload,
+                meta={"imm": wr.imm},
+            )
+            ctx.fabric.route(packet).add_callback(arrived)
+
+        def arrived(arrival: Event) -> None:
+            packet = arrival.value
+            remote = ctx.peer_context(peer.node_id)
+            remote_qp = remote.qp(peer.qpn)
+            # Receiver-not-ready: stall until a Receive is posted.  (The
+            # paper's credit protocol exists precisely so this never
+            # happens.)
+            rnr_t0 = sim.now
+
+            def got_recv(evt: Event) -> None:
+                rwr = evt.value
+                stalled = sim.now - rnr_t0
+                if stalled:
+                    remote_qp.rnr_events += 1
+                    remote_qp.rnr_stall_ns += stalled
+                    ctx.tracer.complete(
+                        peer.node_id, f"qp{peer.qpn}", "rnr-stall",
+                        rnr_t0, stalled, "verbs")
+                remote_qp._recv_posted -= 1
+                remote_qp._deposit(rwr, packet)
+                ack = Packet(
+                    src_node=peer.node_id, dst_node=ctx.node_id,
+                    src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
+                    length=0, wire_bytes=config.rc_ack_bytes,
+                )
+                ctx.fabric.route(ack).add_callback(acked)
+
+            remote_qp._rc_recvs.get().add_callback(got_recv)
+
+        def acked(_evt: Event) -> None:
+            self._complete_send(wr, wr.length)
+            ctx.tracer.complete(
+                ctx.node_id, f"qp{self.qpn}", "rc-send", t0,
+                sim.now - t0, "verbs", args={"bytes": wr.length})
+
+        sim.call_soon(start)
 
     def _rc_read(self, wr: SendWR):
         config = self.ctx.config
@@ -351,6 +429,81 @@ class QueuePair:
         self.ctx.tracer.complete(
             self.ctx.node_id, f"qp{self.qpn}", "ud-send", t0,
             self.ctx.sim.now - t0, "verbs", args={"bytes": wr.length})
+
+    def _ud_send_flat(self, wr: SendWR) -> None:
+        """Flat-callback twin of :meth:`_ud_send` and its deliver helpers.
+
+        The deliver callback replaces the per-datagram ``_ud_deliver``
+        process; registering it directly on the arrival event (instead of
+        via a helper process bootstrap) removes heap entries that carry no
+        observable action, which shifts later sequence numbers uniformly
+        and therefore cannot reorder anything.
+        """
+        from repro.verbs.constants import MCAST_NODE
+
+        ctx = self.ctx
+        sim = ctx.sim
+        config = ctx.config
+        dest = wr.dest
+        assert dest is not None  # post_send validated the destination
+        t0 = sim.now
+
+        def start() -> None:
+            ctx.nic.submit_wr(self.qpn, after_wr)
+
+        def after_wr() -> None:
+            packet = Packet(
+                src_node=ctx.node_id, dst_node=max(dest.node_id, 0),
+                src_qpn=self.qpn, dst_qpn=dest.qpn, kind="SEND",
+                length=wr.length,
+                wire_bytes=config.wire_bytes(wr.length, "UD"),
+                payload=None if wr.buffer is None else wr.buffer.payload,
+                meta={"imm": wr.imm},
+            )
+            egress_done = Event(sim)
+            if dest.node_id == MCAST_NODE:
+                fanout = ctx.fabric.route_mcast(
+                    packet, mgid=dest.qpn, egress_event=egress_done)
+                fanout.add_callback(fan_out)
+            else:
+                arrival = ctx.fabric.route(
+                    packet, unordered=True, lossy=True,
+                    egress_event=egress_done)
+                arrival.add_callback(self._ud_deliver_flat)
+            # No ack in UD: local completion once the NIC drained the
+            # buffer.
+            egress_done.add_callback(complete)
+
+        def fan_out(fanout: Event) -> None:
+            for leg in fanout.value:
+                leg.add_callback(self._ud_deliver_flat)
+
+        def complete(_evt: Event) -> None:
+            self._complete_send(wr, wr.length)
+            ctx.tracer.complete(
+                ctx.node_id, f"qp{self.qpn}", "ud-send", t0,
+                sim.now - t0, "verbs", args={"bytes": wr.length})
+
+        sim.call_soon(start)
+
+    def _ud_deliver_flat(self, arrival: Event) -> None:
+        packet = arrival.value
+        if packet.dropped:
+            return
+        remote = self.ctx.peer_context(packet.dst_node)
+        try:
+            remote_qp = remote.qp(packet.dst_qpn)
+        except VerbsError:
+            return  # destination QP vanished; datagram evaporates
+        if remote_qp.qp_type is not QPType.UD:
+            return
+        if not remote_qp._ud_recvs:
+            # No Receive posted: the datagram is silently dropped (§2.2.1).
+            remote_qp.ud_drops += 1
+            return
+        rwr = remote_qp._ud_recvs.popleft()
+        remote_qp._recv_posted -= 1
+        remote_qp._deposit(rwr, packet)
 
     def _ud_mcast_deliver(self, fanout: Event):
         deliveries = yield fanout

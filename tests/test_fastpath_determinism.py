@@ -1,0 +1,140 @@
+"""A/B regression for the kernel/fabric fast path.
+
+The fast path (flat callback routing, event-driven completion queues,
+calendar-bucket scheduling — see DESIGN.md, "Kernel fast path") must be
+*observably invisible*: with ``REPRO_FASTPATH=0`` the legacy generator
+processes run instead, and everything a user can measure — simulated end
+times, modeled metrics, trace span counts — must come out bit-identical.
+Only the four interpreter self-counters (events dispatched, process
+wakeups, processes started, queue depth) may differ, because the fast
+path legitimately allocates fewer kernel objects.
+
+Also pins down two kernel contracts the fast path leans on: FIFO order
+within a same-timestamp batch, and the exclusive ``run(until=...)``
+bound.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from tests.test_determinism import DESIGN_NAMES, run_once
+
+#: interpreter self-counters exempt from fast-path invariance.
+SIM_SELF_COUNTERS = {
+    "sim.events_dispatched",
+    "sim.process_wakeups",
+    "sim.processes_started",
+    "sim.max_queue_depth",
+}
+
+
+def _comparable(snapshot):
+    """The snapshot minus the exempt interpreter self-counters."""
+    fabric = {k: v for k, v in snapshot["fabric"].items()
+              if k not in SIM_SELF_COUNTERS}
+    return dict(snapshot, fabric=fabric)
+
+
+@pytest.mark.parametrize("design", DESIGN_NAMES)
+def test_fastpath_matches_legacy_generators(design, monkeypatch):
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+    fast_snap, fast_spans, fast_now = run_once(design)
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    slow_snap, slow_spans, slow_now = run_once(design)
+    assert fast_now == slow_now, "simulated end times diverge"
+    assert fast_spans == slow_spans, "trace span counts diverge"
+    assert _comparable(fast_snap) == _comparable(slow_snap), \
+        "modeled metrics diverge"
+
+
+# -- same-timestamp FIFO ----------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=15),
+                min_size=1, max_size=80))
+def test_batched_same_timestamp_dispatch_is_fifo(delays):
+    """Callbacks fire in (time, schedule order) — batching a timestamp's
+    entries into one bucket must not reorder them."""
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.call_at(delay, lambda d=delay, i=index: fired.append((d, i)))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+def test_mid_batch_same_time_entries_run_after_the_batch():
+    """An entry scheduled *during* a batch for the same timestamp runs
+    after everything already queued for that timestamp."""
+    sim = Simulator()
+    fired = []
+    sim.call_at(5, lambda: (fired.append("a"),
+                            sim.call_soon(lambda: fired.append("late"))))
+    sim.call_at(5, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "late"]
+    assert sim.now == 5
+
+
+def test_run_process_preserves_rest_of_final_batch():
+    """Entries queued behind the stop event at the same timestamp must
+    survive ``run_process`` returning and fire on the next run."""
+    sim = Simulator()
+    fired = []
+    ev = sim.event()
+
+    def other():
+        yield sim.timeout(5)
+        ev.succeed()
+
+    def sched():
+        yield sim.timeout(5)
+        sim.call_soon(lambda: sim.call_soon(lambda: fired.append("tail")))
+
+    def main():
+        yield ev
+
+    sim.process(other())
+    sim.process(sched())
+    sim.run_process(main())
+    assert fired == []
+    assert sim.now == 5
+    sim.run()
+    assert fired == ["tail"]
+    assert sim.now == 5
+
+
+# -- run(until=...) boundary ------------------------------------------------
+
+def test_run_until_bound_is_exclusive():
+    sim = Simulator()
+    fired = []
+    sim.call_at(10, lambda: fired.append("at10"))
+    assert sim.run(until=10) == 10
+    assert sim.now == 10
+    assert fired == [], "event exactly at the bound must stay queued"
+    # A later run picks the boundary event up at the current time.
+    assert sim.run(until=11) == 11
+    assert fired == ["at10"]
+
+
+def test_run_until_advances_clock_on_early_drain():
+    sim = Simulator()
+    sim.call_at(3, lambda: None)
+    assert sim.run(until=100) == 100
+    assert sim.now == 100
+
+
+def test_run_until_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.call_at(7, lambda: None)
+    sim.run()
+    assert sim.now == 7
+    fired = []
+    sim.call_at(20, lambda: fired.append("later"))
+    assert sim.run(until=5) == 7, "until <= now is a no-op"
+    assert fired == []
+    sim.run()
+    assert fired == ["later"]

@@ -10,7 +10,7 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro import Cluster, ClusterConfig, EDR, EndpointConfig
+from repro import ClusterConfig, EDR, EndpointConfig
 from repro.analysis import RUNTIME_RULES, Sanitizer, attach_sanitizer
 from repro.core.designs import Design, register_endpoint_kind
 from repro.core.sr_rc import SRRCReceiveEndpoint, SRRCSendEndpoint

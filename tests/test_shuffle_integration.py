@@ -15,7 +15,7 @@ from repro import (
     EndpointConfig,
     TransmissionGroups,
 )
-from repro.core import DESIGNS, ReceiveOperator, ShuffleOperator
+from repro.core import ReceiveOperator, ShuffleOperator
 from repro.core.shuffle import hash_partitioner, striped_partitioner
 from repro.core.stage import ShuffleStage
 from repro.engine import CollectSink, QueryFragment, run_fragments

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fabric import EDR, ClusterConfig, Fabric
-from repro.memory import Buffer, BufferPool
+from repro.memory import BufferPool
 from repro.sim import Simulator
 from repro.verbs import (
     AddressHandle,
