@@ -29,7 +29,17 @@ from repro.core import (
     TransmissionGroups,
     design_properties,
 )
-from repro.fabric import EDR, FDR, ClusterConfig, NetworkConfig
+from repro.fabric import (
+    DUAL_RAIL,
+    EDR,
+    FDR,
+    LEAF_SPINE,
+    SINGLE_SWITCH,
+    ClusterConfig,
+    NetworkConfig,
+    TopologySpec,
+    parse_topology,
+)
 
 __version__ = "1.0.0"
 
@@ -37,12 +47,17 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "DESIGNS",
+    "DUAL_RAIL",
     "DataState",
     "Design",
     "EDR",
     "EndpointConfig",
     "FDR",
+    "LEAF_SPINE",
     "NetworkConfig",
+    "SINGLE_SWITCH",
+    "TopologySpec",
+    "parse_topology",
     "ReceiveOperator",
     "ShuffleNetworkError",
     "ShuffleOperator",

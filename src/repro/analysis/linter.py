@@ -46,6 +46,10 @@ STATIC_RULES: Dict[str, str] = {
     "VS105": (
         "iteration directly over a set (unordered: breaks the "
         "determinism suite; sort or use an ordered container)"),
+    "VS106": (
+        "Fabric.route()/route_mcast() called outside fabric/ and "
+        "verbs/ (topology bypass: go through the verbs API so the "
+        "switch-path model applies)"),
 }
 
 
@@ -241,12 +245,44 @@ def _rule_vs105(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
                        "(sort it, or iterate an ordered container)")
 
 
+#: paths that legitimately drive the fabric directly: the baselines
+#: model whole transports (kernel TCP, MPI) on raw fabric routes, and
+#: the kernel microbenchmark measures the routing hot path itself.
+_VS106_EXEMPT = ("baselines/", "bench/kernel.py")
+
+
+def _rule_vs106(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Direct Fabric.route*/route_mcast calls outside fabric//verbs/
+    (VS106).
+
+    Everything above the verbs layer must send through Queue Pairs —
+    a raw ``fabric.route(...)`` bypasses the topology's switch-path
+    model (trunk ports, multicast replication point) as well as the
+    NIC's QP-context cache accounting.
+    """
+    if rel.startswith(("fabric/", "verbs/")) or rel.startswith(_VS106_EXEMPT):
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("route", "route_mcast")):
+            continue
+        base = node.func.value
+        if ((isinstance(base, ast.Name) and base.id == "fabric")
+                or (isinstance(base, ast.Attribute)
+                    and base.attr == "fabric")):
+            yield (node.lineno,
+                   f"calls Fabric.{node.func.attr}() directly (topology "
+                   f"bypass; send through the verbs API)")
+
+
 _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS101": _rule_vs101,
     "VS102": _rule_vs102,
     "VS103": _rule_vs103,
     "VS104": _rule_vs104,
     "VS105": _rule_vs105,
+    "VS106": _rule_vs106,
 }
 
 

@@ -24,7 +24,7 @@ from repro.telemetry.session import format_digest, session
 __all__ = ["main"]
 
 #: version of the ``--json`` result document layout.
-RESULTS_SCHEMA_VERSION = 2
+RESULTS_SCHEMA_VERSION = 3
 
 
 def main(argv=None) -> int:
@@ -41,6 +41,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="volume/scale-factor multiplier (default 1.0; "
                              "use 0.25 for a quick pass)")
+    parser.add_argument("--topology", metavar="SPEC", default=None,
+                        help="switch topology for every simulated cluster: "
+                             "single-switch (default), leaf-spine[:K[:M]] "
+                             "(K:1 oversubscribed trunks, M nodes/leaf, "
+                             "e.g. leaf-spine:4), or dual-rail")
     parser.add_argument("--json", metavar="PATH",
                         help="additionally dump results as JSON")
     parser.add_argument("--metrics", metavar="PATH",
@@ -64,6 +69,24 @@ def main(argv=None) -> int:
                              "benchmark (default 0.05)")
     args = parser.parse_args(argv)
 
+    if args.topology:
+        from repro.fabric.config import parse_topology, set_default_topology
+        try:
+            spec = parse_topology(args.topology)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(f"topology: {spec.describe()}", file=sys.stderr)
+        # Scope the process-wide default to this invocation so repeated
+        # in-process main() calls (tests) cannot leak a topology.
+        previous = set_default_topology(spec)
+        try:
+            return _run(args, parser)
+        finally:
+            set_default_topology(previous)
+    return _run(args, parser)
+
+
+def _run(args, parser) -> int:
     if args.kernel_bench:
         from repro.bench.kernel import emit
         document = emit(args.kernel_bench,
@@ -110,6 +133,7 @@ def main(argv=None) -> int:
                 "schema": {"name": "repro-bench-results",
                            "version": RESULTS_SCHEMA_VERSION},
                 "scale": args.scale,
+                "topology": args.topology or "single-switch",
                 "experiments": experiments_out,
             }
             with open(args.json, "w") as fh:

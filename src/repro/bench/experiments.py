@@ -23,13 +23,20 @@ from repro.core.designs import design_properties
 from repro.core.endpoint import EndpointConfig
 from repro.core.groups import TransmissionGroups
 from repro.core.stage import ShuffleStage
-from repro.fabric.config import EDR, FDR, ClusterConfig, NetworkConfig
+from repro.fabric.config import (
+    EDR,
+    FDR,
+    LEAF_SPINE,
+    ClusterConfig,
+    NetworkConfig,
+)
 from repro.telemetry import nic_cache_stats
 from repro.tpch import generate, run_query
 
 __all__ = [
     "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14a", "fig14_scaling", "table1", "ALL_EXPERIMENTS",
+    "fig14a", "fig14_scaling", "table1", "abl_oversub",
+    "ALL_EXPERIMENTS",
 ]
 
 MIB = 1 << 20
@@ -387,6 +394,63 @@ def fig14_scaling(query: str, scale_factor_per_node: float = 0.0075,
     )
 
 
+# -- Ablation: trunk oversubscription --------------------------------------------------
+
+
+def abl_oversub(network: NetworkConfig = EDR, nodes: int = 8,
+                nodes_per_leaf: int = 4,
+                factors: Sequence[int] = (1, 2, 4),
+                designs: Sequence[str] = ("MESQ/SR", "MEMQ/SR"),
+                scale: float = 1.0) -> ExperimentResult:
+    """Repartition throughput vs leaf-spine trunk oversubscription.
+
+    The paper's single-switch platform (§5) cannot exhibit cross-rack
+    contention; this ablation re-runs the fig10 repartition workload on
+    a two-tier leaf-spine fabric and sweeps the trunk oversubscription
+    factor k.  At k:1 each leaf's uplink/downlink runs at
+    ``nodes_per_leaf * link_rate / k``, so with uniform repartition
+    traffic — a fraction (n - m)/(n - 1) of every byte crosses the
+    spine — the trunks saturate once k exceeds roughly the inverse of
+    that fraction, and throughput collapses no matter how good the
+    NIC-level shuffle design is.  The per-switch-port utilization in
+    the notes (and in ``--metrics`` snapshots) attributes the collapse
+    to the trunk pipes directly.
+    """
+    series = []
+    trunk_notes = []
+    for design in designs:
+        ys = []
+        for k in factors:
+            topology = LEAF_SPINE(oversubscription=k,
+                                  nodes_per_leaf=nodes_per_leaf)
+            cluster = Cluster(ClusterConfig(network=network,
+                                            num_nodes=nodes,
+                                            topology=topology))
+            result = run_repartition(
+                cluster, design,
+                bytes_per_node=_volume(design, scale, nodes))
+            ys.append(result.receive_throughput_gib_per_node())
+            if design == designs[0]:
+                # Utilization over the transfer window (setup excluded):
+                # trunk ports only carry shuffle data.
+                elapsed = max(1, result.elapsed_ns)
+                peak = max(
+                    (p.pipe.busy_ns / elapsed
+                     for p in cluster.fabric.topology.ports()),
+                    default=0.0)
+                trunk_notes.append(f"{k}:1 peak trunk util "
+                                   f"{100.0 * min(1.0, peak):.0f}%")
+        series.append(Series(design, ys))
+    return ExperimentResult(
+        experiment=f"abl-oversub-{network.name}",
+        title=f"Trunk oversubscription ({network.name}, {nodes} nodes, "
+              f"{nodes_per_leaf}/leaf)",
+        x_label="oversubscription (k:1)", x=list(factors),
+        y_label="receive throughput per node (GiB/s)", series=series,
+        notes=f"leaf-spine, {designs[0]}: " + ", ".join(trunk_notes),
+    )
+
+
 # -- Table 1 ---------------------------------------------------------------------------
 
 
@@ -423,4 +487,5 @@ ALL_EXPERIMENTS = {
     "fig14d": lambda scale=1.0: [fig14_scaling(
         "Q10", scale_factor_per_node=0.0075 * scale)],
     "table1": lambda scale=1.0: [table1()],
+    "abl-oversub": lambda scale=1.0: [abl_oversub(scale=scale)],
 }

@@ -8,7 +8,11 @@
 The send endpoint posts *one* Send work request per buffer for any
 transmission group with more than one member: the datagram is addressed
 to a multicast group the receivers' QPs joined at connection time, and
-the switch performs the replication.  The sender thus pays one
+the fabric performs the replication at the last switch common to every
+member's path (on the paper's single-switch platform, that one switch;
+on a leaf-spine fabric, a shared trunk is crossed once before the
+replication point — see ``repro.fabric.topology``).  The sender thus
+pays one
 ``ibv_post_send`` and one egress serialization instead of ``|G|`` of
 them — exactly the CPU and port-bandwidth saving the paper hypothesizes.
 

@@ -7,23 +7,39 @@ This package models the hardware substrate the paper's evaluation ran on:
 * :mod:`repro.fabric.nic` — the network adapter: egress/ingress
   serialization, a per-work-request processing engine, and the LRU Queue
   Pair context cache whose misses reproduce the "too many QPs" effect.
+* :mod:`repro.fabric.topology` — the explicit switch graph: ports,
+  switches, links and precomputed routes, built from a
+  :class:`~repro.fabric.config.TopologySpec` preset (single-switch,
+  oversubscribed leaf-spine, dual-rail).
+* :mod:`repro.fabric.routing` — the generic path-walker executing a
+  route's hop sequence (flat-callback fast path and its legacy
+  generator oracle).
 * :mod:`repro.fabric.network` — nodes and the switched fabric connecting
   them, including UD out-of-order jitter and optional loss injection.
 """
 
 from repro.fabric.config import (
+    DUAL_RAIL,
     EDR,
     FDR,
+    LEAF_SPINE,
+    SINGLE_SWITCH,
     ClusterConfig,
     NetworkConfig,
+    TopologySpec,
+    parse_topology,
 )
 from repro.fabric.network import Fabric, Node
 from repro.fabric.nic import NIC, QPContextCache
 from repro.fabric.packet import Packet
+from repro.fabric.topology import Topology
 
 __all__ = [
+    "DUAL_RAIL",
     "EDR",
     "FDR",
+    "LEAF_SPINE",
+    "SINGLE_SWITCH",
     "ClusterConfig",
     "Fabric",
     "NIC",
@@ -31,4 +47,7 @@ __all__ = [
     "Node",
     "Packet",
     "QPContextCache",
+    "Topology",
+    "TopologySpec",
+    "parse_topology",
 ]

@@ -15,9 +15,13 @@ in bytes per nanosecond, which is numerically identical to GB/s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
-__all__ = ["NetworkConfig", "ClusterConfig", "FDR", "EDR"]
+__all__ = [
+    "NetworkConfig", "ClusterConfig", "FDR", "EDR",
+    "TopologySpec", "SINGLE_SWITCH", "LEAF_SPINE", "DUAL_RAIL",
+    "parse_topology", "default_topology", "set_default_topology",
+]
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -218,6 +222,117 @@ EDR = NetworkConfig(
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """How the cluster's switches are wired.
+
+    A pure description — :class:`repro.fabric.topology.Topology` turns it
+    into a live Port/Switch/Link graph with precomputed routes.  Three
+    kinds are supported:
+
+    * ``single-switch`` — every node on one full-bisection switch; the
+      paper's platform (§5) and the degenerate default.  Bit-identical to
+      the pre-topology fabric.
+    * ``leaf-spine`` — ``nodes_per_leaf`` nodes per leaf switch, one
+      spine; each leaf's uplink/downlink trunks run at
+      ``nodes_per_leaf * link_rate / oversubscription``, so
+      ``oversubscription > 1`` starves cross-leaf traffic.
+    * ``dual-rail`` — ``rails`` independent full-bisection planes with
+      per-destination output ports; traffic is striped over the rails by
+      ``(src + dst) % rails``, exposing output-port incast.
+    """
+
+    kind: str = "single-switch"
+    #: trunk oversubscription factor k in a k:1 leaf-spine fabric.
+    oversubscription: int = 1
+    #: nodes attached to each leaf switch (leaf-spine only).
+    nodes_per_leaf: int = 4
+    #: independent switch planes (dual-rail only).
+    rails: int = 2
+
+    _KINDS = ("single-switch", "leaf-spine", "dual-rail")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; "
+                f"expected one of {', '.join(self._KINDS)}")
+        if self.oversubscription < 1:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}")
+        if self.nodes_per_leaf < 1:
+            raise ValueError(
+                f"nodes_per_leaf must be >= 1, got {self.nodes_per_leaf}")
+        if self.rails < 1:
+            raise ValueError(f"rails must be >= 1, got {self.rails}")
+
+    def describe(self) -> str:
+        if self.kind == "leaf-spine":
+            return (f"leaf-spine {self.oversubscription}:1, "
+                    f"{self.nodes_per_leaf} nodes/leaf")
+        if self.kind == "dual-rail":
+            return f"dual-rail ({self.rails} planes)"
+        return "single-switch (full bisection)"
+
+
+#: the paper's platform: one full-bisection switch (§5).
+SINGLE_SWITCH = TopologySpec("single-switch")
+
+
+def LEAF_SPINE(oversubscription: int = 1,
+               nodes_per_leaf: int = 4) -> TopologySpec:
+    """A two-tier leaf-spine fabric with ``oversubscription``:1 trunks."""
+    return TopologySpec("leaf-spine", oversubscription=oversubscription,
+                        nodes_per_leaf=nodes_per_leaf)
+
+
+#: two independent full-bisection planes, striped by (src + dst) parity.
+DUAL_RAIL = TopologySpec("dual-rail")
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """Parse a CLI topology spec.
+
+    Accepted forms: ``single-switch``, ``dual-rail``, ``leaf-spine``,
+    ``leaf-spine:K`` (K:1 oversubscription) and ``leaf-spine:K:M``
+    (M nodes per leaf).
+    """
+    parts = text.strip().split(":")
+    kind = parts[0]
+    if kind == "leaf-spine":
+        oversub = int(parts[1]) if len(parts) > 1 else 1
+        per_leaf = int(parts[2]) if len(parts) > 2 else 4
+        return LEAF_SPINE(oversubscription=oversub, nodes_per_leaf=per_leaf)
+    if len(parts) > 1:
+        raise ValueError(f"topology {kind!r} takes no parameters: {text!r}")
+    if kind == "single-switch":
+        return SINGLE_SWITCH
+    if kind == "dual-rail":
+        return DUAL_RAIL
+    raise ValueError(
+        f"unknown topology {text!r}; expected single-switch, "
+        f"leaf-spine[:K[:M]] or dual-rail")
+
+
+#: process-wide default for newly built ClusterConfigs; the
+#: ``repro-bench --topology`` knob retargets every experiment through it.
+_DEFAULT_TOPOLOGY = SINGLE_SWITCH
+
+
+def default_topology() -> TopologySpec:
+    """The topology newly built :class:`ClusterConfig` objects get."""
+    return _DEFAULT_TOPOLOGY
+
+
+def set_default_topology(spec: TopologySpec) -> TopologySpec:
+    """Replace the process-wide default topology; returns the previous
+    one so callers can restore it."""
+    global _DEFAULT_TOPOLOGY
+    previous = _DEFAULT_TOPOLOGY
+    _DEFAULT_TOPOLOGY = spec
+    return previous
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """A concrete experiment platform: a network preset plus topology."""
 
@@ -225,6 +340,9 @@ class ClusterConfig:
     num_nodes: int
     threads_per_node: int = 0  # 0 => network.cores_per_node
     seed: int = 1
+    #: switch wiring; defaults to the ambient :func:`default_topology`
+    #: (normally SINGLE_SWITCH, the paper's platform).
+    topology: TopologySpec = field(default_factory=default_topology)
 
     def __post_init__(self):
         if self.num_nodes < 1:
@@ -241,3 +359,7 @@ class ClusterConfig:
     def with_network(self, **changes) -> "ClusterConfig":
         """Derive a config whose network preset has fields overridden."""
         return replace(self, network=replace(self.network, **changes))
+
+    def with_topology(self, spec: TopologySpec) -> "ClusterConfig":
+        """Derive a config running on a different switch topology."""
+        return replace(self, topology=spec)

@@ -1,12 +1,25 @@
 """Nodes and the switched fabric connecting them.
 
-The topology mirrors the paper's clusters: every node has one adapter
-plugged into a full-bisection switch, so contention only occurs at the
-sender's egress port and the receiver's ingress port.  The fabric is
-lossless under congestion (InfiniBand link-level flow control) but — for
-the Unreliable Datagram service — may deliver messages out of order, which
-is modeled with a bounded random forwarding jitter.  Loss injection (bit
-errors, §4.4.2) is available for failure testing and defaults to off.
+The fabric is now three collaborating pieces:
+
+* :mod:`repro.fabric.topology` — the explicit switch graph: ports,
+  links, precomputed per-pair routes (built from the cluster's
+  :class:`~repro.fabric.config.TopologySpec`);
+* :mod:`repro.fabric.routing` — the generic path-walker executing a
+  route's hop sequence, in position-isomorphic flat-callback and legacy
+  generator variants;
+* this module — NIC attachment, delivery accounting, and the loss and
+  jitter policy (what *unordered*/*lossy* mean).
+
+The default ``SINGLE_SWITCH`` topology mirrors the paper's clusters:
+every node has one adapter plugged into a full-bisection switch, so
+contention only occurs at the sender's egress port and the receiver's
+ingress port.  Multi-switch presets add contention at trunk ports.  The
+fabric is lossless under congestion (InfiniBand link-level flow
+control) but — for the Unreliable Datagram service — may deliver
+messages out of order, which is modeled with a bounded random
+forwarding jitter.  Loss injection (bit errors, §4.4.2) is available
+for failure testing and defaults to off.
 """
 
 from __future__ import annotations
@@ -14,9 +27,11 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.fabric import routing
 from repro.fabric.config import ClusterConfig, NetworkConfig
 from repro.fabric.nic import NIC
 from repro.fabric.packet import Packet
+from repro.fabric.topology import Hop, Topology
 from repro.sim import Event, Simulator, fastpath
 from repro.telemetry.core import Telemetry
 
@@ -33,7 +48,12 @@ class Node:
         self.nic = NIC(sim, node_id, config)
 
     def cpu_delay(self, ns: float) -> Event:
-        """A timeout scaled by this node's CPU speed."""
+        """A timeout scaled by this node's CPU speed.
+
+        ``ns`` may be fractional (per-tuple cost models multiply);
+        :meth:`NetworkConfig.cpu` rounds to integer nanoseconds exactly
+        once, here at the simulation boundary.
+        """
         return self.sim.timeout(self.config.cpu(ns))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -51,6 +71,9 @@ class Fabric:
         self.nodes: List[Node] = [
             Node(sim, i, cluster.network) for i in range(cluster.num_nodes)
         ]
+        #: the live switch graph; owns trunk-port pipes and routes.
+        self.topology = Topology(sim, cluster.topology, cluster.network,
+                                 cluster.num_nodes)
         self._rng = random.Random(cluster.seed)
         self.delivered_messages = 0
         self.dropped_messages = 0
@@ -67,8 +90,9 @@ class Fabric:
         #: (or repro.analysis.sanitizer.attach_sanitizer) installed one.
         self.sanitizer: Optional[Any] = None
         #: InfiniBand multicast groups: mgid -> set of (node_id, qpn)
-        #: attached UD QPs.  The switch replicates a single sender packet
-        #: to every member, so the sender's port is charged only once.
+        #: attached UD QPs.  The fabric replicates a single sender packet
+        #: to every member at the last common switch, so the sender's
+        #: port (and any shared trunk) is charged only once.
         self.mcast_members: dict = {}
         #: route packets via flat callback chains instead of per-packet
         #: generator processes.  Both paths are position-isomorphic (same
@@ -98,63 +122,31 @@ class Fabric:
         ``egress_event``, if given, fires once the packet has fully left
         the sender's NIC (the point at which an unacknowledged transport
         considers the send complete).
+
+        Loopback (``src == dst``) turns around inside the HCA: PCIe DMA
+        out and back in, so both port pipes are charged, but the route
+        has no hops — no switch latency, no jitter, no loss.
         """
         key = (packet.src_node, packet.dst_node)
         self.link_bytes[key] = self.link_bytes.get(key, 0) + packet.wire_bytes
-        if packet.src_node == packet.dst_node:
-            return self._route_loopback(packet, egress_event)
+        loopback = packet.src_node == packet.dst_node
+        if loopback:
+            unordered = lossy = False
+        hops = self.topology.route(packet.src_node, packet.dst_node).hops
         done = Event(self.sim)
         if self.flat_routing:
-            self._route_flat(packet, unordered, lossy, done, egress_event)
+            routing.flat_route(self, packet, hops, unordered, lossy, done,
+                               egress_event)
         else:
+            name = ("route-loopback" if loopback else
+                    f"route-{packet.kind}-"
+                    f"{packet.src_node}->{packet.dst_node}")
             self.sim.process(
-                self._route_proc(packet, unordered, lossy, done, egress_event),
-                name=f"route-{packet.kind}-{packet.src_node}->{packet.dst_node}",
+                routing.proc_route(self, packet, hops, unordered, lossy,
+                                   done, egress_event),
+                name=name,
             )
         return done
-
-    def _route_flat(self, packet: Packet, unordered: bool, lossy: bool,
-                    done: Event, egress_event: Optional[Event]) -> None:
-        """Flat-callback twin of :meth:`_route_proc`.
-
-        Each stage schedules the next directly on the kernel, so the only
-        per-packet allocations are the four closures — no Process, no
-        generator frame, no termination event.  The initial ``call_soon``
-        stands exactly where the legacy process bootstrap stood, and the
-        jitter/loss draws stay inside the stage callbacks, so heap entry
-        order and RNG draw order match the generator version event for
-        event.
-        """
-        sim = self.sim
-        config = self.config
-        src_nic = self.nodes[packet.src_node].nic
-        dst_nic = self.nodes[packet.dst_node].nic
-
-        def start() -> None:
-            src_nic.submit_tx(packet.wire_bytes, after_egress)
-
-        def after_egress() -> None:
-            if egress_event is not None:
-                egress_event.succeed(packet)
-            latency = config.switch_latency_ns
-            if unordered and config.ud_jitter_ns:
-                latency += self._rng.randrange(config.ud_jitter_ns)
-            sim.call_later(latency, after_switch)
-
-        def after_switch() -> None:
-            if lossy and config.ud_loss_probability > 0:
-                if self._rng.random() < config.ud_loss_probability:
-                    packet.dropped = True
-                    self.dropped_messages += 1
-                    done.succeed(packet)
-                    return
-            dst_nic.submit_rx(packet.wire_bytes, packet.dst_qpn, deliver)
-
-        def deliver() -> None:
-            self.delivered_messages += 1
-            done.succeed(packet)
-
-        sim.call_soon(start)
 
     def mcast_attach(self, mgid: int, node_id: int, qpn: int) -> None:
         """Attach a UD QP to a multicast group."""
@@ -165,42 +157,47 @@ class Fabric:
 
     def route_mcast(self, packet: Packet, mgid: int,
                     egress_event: Optional[Event] = None) -> Event:
-        """Replicate one datagram to every group member via the switch.
+        """Replicate one datagram to every group member.
 
-        The sender's egress port serializes the packet *once*; the switch
-        fans it out, and each member's ingress port is charged
-        individually.  Returns an event firing with the list of per-member
-        delivery events.  The sender, if attached, does not hear its own
-        packet (IB loopback suppression is the common HCA default).
+        The sender's egress port serializes the packet *once*; the
+        topology splits the member paths into a shared trunk (walked
+        once) and per-member legs that start at the last common switch,
+        where replication happens.  Each member's ingress port is
+        charged individually.  Returns an event firing with the list of
+        per-member delivery events.  The sender, if attached, does not
+        hear its own packet (IB loopback suppression is the common HCA
+        default).
         """
         members = [
             m for m in self.mcast_members.get(mgid, ())
             if m[0] != packet.src_node
         ]
+        trunk, leg_hops = self.topology.mcast_route(
+            packet.src_node, tuple(m[0] for m in members))
         done = Event(self.sim)
-        src_nic = self.nodes[packet.src_node].nic
 
         def fan_out() -> None:
-            if egress_event is not None:
-                egress_event.succeed(packet)
             deliveries = []
             for node_id, qpn in members:
-                deliveries.append(self._mcast_leg(packet, node_id, qpn))
+                deliveries.append(
+                    self._mcast_leg(packet, node_id, qpn,
+                                    leg_hops[node_id]))
             done.succeed(deliveries)
 
         if self.flat_routing:
-            self.sim.call_soon(lambda: src_nic.submit_tx(packet.wire_bytes,
-                                                         fan_out))
+            routing.flat_route(self, packet, trunk, False, False, done,
+                               egress_event, terminal=fan_out)
         else:
-            def proc():
-                yield src_nic.transmit(packet.wire_bytes)
-                fan_out()
-
-            self.sim.process(proc(), name=f"route-mcast-{mgid}")
+            self.sim.process(
+                routing.proc_route(self, packet, trunk, False, False, done,
+                                   egress_event, terminal=fan_out),
+                name=f"route-mcast-{mgid}")
         return done
 
-    def _mcast_leg(self, packet: Packet, node_id: int, qpn: int) -> Event:
-        """One member's copy: switch hop (+jitter), then its ingress."""
+    def _mcast_leg(self, packet: Packet, node_id: int, qpn: int,
+                   hops: Tuple[Hop, ...]) -> Event:
+        """One member's copy: its leg of the distribution tree, then its
+        ingress.  Legs are datagrams (jitter and loss both apply)."""
         key = (packet.src_node, node_id)
         self.link_bytes[key] = self.link_bytes.get(key, 0) + packet.wire_bytes
         leg = Event(self.sim)
@@ -210,109 +207,9 @@ class Fabric:
             length=packet.length, wire_bytes=packet.wire_bytes,
             payload=packet.payload, meta=packet.meta,
         )
-
         if self.flat_routing:
-            sim = self.sim
-            config = self.config
-
-            def start() -> None:
-                # Jitter draws at switch time, not attach time, matching
-                # the legacy process's first resumption.
-                latency = config.switch_latency_ns
-                if config.ud_jitter_ns:
-                    latency += self._rng.randrange(config.ud_jitter_ns)
-                sim.call_later(latency, after_switch)
-
-            def after_switch() -> None:
-                if config.ud_loss_probability > 0:
-                    if self._rng.random() < config.ud_loss_probability:
-                        copy.dropped = True
-                        self.dropped_messages += 1
-                        leg.succeed(copy)
-                        return
-                self.nodes[node_id].nic.submit_rx(copy.wire_bytes, qpn,
-                                                  deliver)
-
-            def deliver() -> None:
-                self.delivered_messages += 1
-                leg.succeed(copy)
-
-            sim.call_soon(start)
-            return leg
-
-        def proc():
-            latency = self.config.switch_latency_ns
-            if self.config.ud_jitter_ns:
-                latency += self._rng.randrange(self.config.ud_jitter_ns)
-            yield self.sim.timeout(latency)
-            if self.config.ud_loss_probability > 0:
-                if self._rng.random() < self.config.ud_loss_probability:
-                    copy.dropped = True
-                    self.dropped_messages += 1
-                    leg.succeed(copy)
-                    return
-            yield self.nodes[node_id].nic.receive(copy.wire_bytes, qpn)
-            self.delivered_messages += 1
-            leg.succeed(copy)
-
-        self.sim.process(proc(), name="mcast-leg")
+            routing.flat_leg(self, copy, hops, leg)
+        else:
+            self.sim.process(routing.proc_leg(self, copy, hops, leg),
+                             name="mcast-leg")
         return leg
-
-    def _route_loopback(self, packet: Packet,
-                        egress_event: Optional[Event]) -> Event:
-        """Local delivery: loops through the HCA, skipping the switch.
-
-        RDMA to one's own node still traverses the adapter (PCIe DMA out
-        and back in), so both port pipes are charged; only the switch hop
-        and loss/jitter are skipped.
-        """
-        done = Event(self.sim)
-        node = self.nodes[packet.src_node]
-        if self.flat_routing:
-            def start() -> None:
-                node.nic.submit_tx(packet.wire_bytes, after_egress)
-
-            def after_egress() -> None:
-                if egress_event is not None:
-                    egress_event.succeed(packet)
-                node.nic.submit_rx(packet.wire_bytes, packet.dst_qpn,
-                                   deliver)
-
-            def deliver() -> None:
-                self.delivered_messages += 1
-                done.succeed(packet)
-
-            self.sim.call_soon(start)
-            return done
-
-        def proc():
-            yield node.nic.transmit(packet.wire_bytes)
-            if egress_event is not None:
-                egress_event.succeed(packet)
-            yield node.nic.receive(packet.wire_bytes, packet.dst_qpn)
-            self.delivered_messages += 1
-            done.succeed(packet)
-
-        self.sim.process(proc(), name="route-loopback")
-        return done
-
-    def _route_proc(self, packet: Packet, unordered: bool, lossy: bool,
-                    done: Event, egress_event: Optional[Event]):
-        src = self.nodes[packet.src_node]
-        dst = self.nodes[packet.dst_node]
-        yield src.nic.transmit(packet.wire_bytes)
-        if egress_event is not None:
-            egress_event.succeed(packet)
-        latency = self.config.switch_latency_ns
-        if unordered and self.config.ud_jitter_ns:
-            latency += self._rng.randrange(self.config.ud_jitter_ns)
-        yield self.sim.timeout(latency)
-        if lossy and self.config.ud_loss_probability > 0:
-            if self._rng.random() < self.config.ud_loss_probability:
-                packet.dropped = True
-                self.dropped_messages += 1
-                done.succeed(packet)
-                return
-        yield dst.nic.receive(packet.wire_bytes, packet.dst_qpn)
-        self.delivered_messages += 1
-        done.succeed(packet)

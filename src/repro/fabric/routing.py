@@ -1,0 +1,192 @@
+"""The generic path-walker: one pipeline for every routing shape.
+
+Unicast, loopback and the two halves of multicast (shared trunk,
+per-member legs) were four near-duplicate egress→switch→ingress
+pipelines in the fabric, each duplicated again across the flat-callback
+fast path and the legacy generator path.  This module replaces them with
+one walker over a precomputed hop sequence
+(:class:`~repro.fabric.topology.Route`):
+
+    egress pipe → [port pipe?, forwarding latency]* → loss? → ingress
+
+Both variants are position-isomorphic — every heap entry is created at
+the same simulated time and code position, and the jitter/loss RNG
+draws happen in the same order — so ``REPRO_FASTPATH=0`` remains a
+bit-identical oracle (see :mod:`repro.sim.fastpath`):
+
+* the flat walker's entry point stands exactly where the legacy process
+  bootstrap stood (one ``call_soon``),
+* a portless hop is one ``call_later`` in both variants; a port hop is
+  one pipe completion plus one ``call_later``/``timeout``,
+* forwarding jitter (unordered delivery) is drawn on the *first* hop,
+  after the egress event fires; loss is drawn after the last hop,
+  before the ingress pipe — matching the pre-topology fabric on the
+  degenerate single-switch graph.
+
+Latencies arrive here as validated integers
+(:class:`~repro.fabric.topology.Hop` is the rounding boundary); the
+walkers assert that instead of rounding per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.fabric.packet import Packet
+from repro.fabric.topology import Hop
+from repro.sim import Event
+
+__all__ = ["flat_route", "proc_route", "flat_leg", "proc_leg"]
+
+#: a multicast fan-out continuation run instead of ingress delivery.
+Terminal = Optional[Callable[[], None]]
+
+
+def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
+               unordered: bool, lossy: bool, done: Event,
+               terminal: Terminal) -> Callable[[], None]:
+    """Build the flat-callback hop walk; returns its entry point.
+
+    With ``terminal`` the walk ends there (the multicast trunk hands
+    over to the fan-out); otherwise it ends in the loss draw and the
+    destination's ingress pipe.
+    """
+    sim = fabric.sim
+    config = fabric.config
+    rng = fabric._rng
+
+    def deliver() -> None:
+        fabric.delivered_messages += 1
+        done.succeed(packet)
+
+    def ingress() -> None:
+        if lossy and config.ud_loss_probability > 0:
+            if rng.random() < config.ud_loss_probability:
+                packet.dropped = True
+                fabric.dropped_messages += 1
+                done.succeed(packet)
+                return
+        fabric.nodes[packet.dst_node].nic.submit_rx(
+            packet.wire_bytes, packet.dst_qpn, deliver)
+
+    finish = terminal if terminal is not None else ingress
+
+    # Specialized shapes for the hot cases — identical heap entries and
+    # RNG draw positions, just without the generic walker's closures.
+    # Latencies are already validated integers (the Hop constructor is
+    # the rounding boundary), so the invariant holds by construction.
+    if not hops:  # loopback: the HCA turns the packet around
+        return finish
+    if len(hops) == 1 and hops[0].port is None:
+        base = hops[0].latency_ns
+        if unordered and config.ud_jitter_ns:
+            jitter = config.ud_jitter_ns
+
+            def single_jittered() -> None:
+                sim.call_later(base + rng.randrange(jitter), finish)
+
+            return single_jittered
+
+        def single() -> None:
+            sim.call_later(base, finish)
+
+        return single
+
+    def advance(index: int) -> None:
+        if index == len(hops):
+            finish()
+            return
+        hop = hops[index]
+        latency = hop.latency_ns
+        if index == 0 and unordered and config.ud_jitter_ns:
+            latency += rng.randrange(config.ud_jitter_ns)
+        assert type(latency) is int, "hop latency must be integer ns"
+
+        def forward() -> None:
+            sim.call_later(latency, lambda: advance(index + 1))
+
+        if hop.port is None:
+            forward()
+        else:
+            hop.port.pipe.submit(packet.wire_bytes, forward)
+
+    return lambda: advance(0)
+
+
+def flat_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
+               unordered: bool, lossy: bool, done: Event,
+               egress_event: Optional[Event] = None,
+               terminal: Terminal = None) -> None:
+    """Flat-callback routing: egress pipe, then the hop walk.
+
+    The initial ``call_soon`` stands exactly where the legacy process
+    bootstrap stood; the only per-packet allocations are the stage
+    closures — no Process, no generator frame.
+    """
+    walk = _flat_walk(fabric, packet, hops, unordered, lossy, done, terminal)
+    src_nic = fabric.nodes[packet.src_node].nic
+
+    def start() -> None:
+        src_nic.submit_tx(packet.wire_bytes, after_egress)
+
+    def after_egress() -> None:
+        if egress_event is not None:
+            egress_event.succeed(packet)
+        walk()
+
+    fabric.sim.call_soon(start)
+
+
+def flat_leg(fabric, packet: Packet, hops: Tuple[Hop, ...],
+             done: Event) -> None:
+    """One multicast leg: the walk without an egress stage (the trunk
+    already paid the sender's port once for the whole group).  Legs are
+    datagrams: always unordered and lossy."""
+    fabric.sim.call_soon(
+        _flat_walk(fabric, packet, hops, True, True, done, None))
+
+
+def proc_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
+               unordered: bool, lossy: bool, done: Event,
+               egress_event: Optional[Event] = None,
+               terminal: Terminal = None):
+    """Legacy generator twin of :func:`flat_route` (``REPRO_FASTPATH=0``)."""
+    yield fabric.nodes[packet.src_node].nic.transmit(packet.wire_bytes)
+    if egress_event is not None:
+        egress_event.succeed(packet)
+    yield from _proc_walk(fabric, packet, hops, unordered, lossy, done,
+                          terminal)
+
+
+def proc_leg(fabric, packet: Packet, hops: Tuple[Hop, ...], done: Event):
+    """Legacy generator twin of :func:`flat_leg`."""
+    yield from _proc_walk(fabric, packet, hops, True, True, done, None)
+
+
+def _proc_walk(fabric, packet: Packet, hops: Sequence[Hop],
+               unordered: bool, lossy: bool, done: Event,
+               terminal: Terminal):
+    sim = fabric.sim
+    config = fabric.config
+    rng = fabric._rng
+    for index, hop in enumerate(hops):
+        latency = hop.latency_ns
+        if index == 0 and unordered and config.ud_jitter_ns:
+            latency += rng.randrange(config.ud_jitter_ns)
+        assert type(latency) is int, "hop latency must be integer ns"
+        if hop.port is not None:
+            yield hop.port.pipe.transmit(packet.wire_bytes)
+        yield sim.timeout(latency)
+    if terminal is not None:
+        terminal()
+        return
+    if lossy and config.ud_loss_probability > 0:
+        if rng.random() < config.ud_loss_probability:
+            packet.dropped = True
+            fabric.dropped_messages += 1
+            done.succeed(packet)
+            return
+    yield fabric.nodes[packet.dst_node].nic.receive(
+        packet.wire_bytes, packet.dst_qpn)
+    fabric.delivered_messages += 1
+    done.succeed(packet)

@@ -128,6 +128,18 @@ class Telemetry:
             nic.egress.bind_trace(self.tracer, node.id, "egress", "tx")
             nic.ingress.bind_trace(self.tracer, node.id, "ingress", "rx")
             nic.processor.bind_trace(self.tracer, node.id, "nicproc", "wr")
+        # Switches trace as pseudo-nodes after the real ones: one pid
+        # per switch, one thread per trunk port.
+        topology = getattr(self._fabric, "topology", None)
+        if topology is not None:
+            for switch in topology.switches:
+                if not switch.ports:
+                    continue
+                pseudo_node = self.num_nodes + switch.index
+                self.tracer.name_process(pseudo_node, switch.name)
+                for port in switch.ports:
+                    port.pipe.bind_trace(self.tracer, pseudo_node,
+                                         port.local_name, "fwd")
 
     # -- harvesting --------------------------------------------------------
 
@@ -150,6 +162,20 @@ class Telemetry:
                 f"{s}->{d}": v
                 for (s, d), v in sorted(fb.link_bytes.items())
             }
+            topology = getattr(fb, "topology", None)
+            if topology is not None:
+                fabric["topology.kind"] = topology.spec.kind
+                elapsed = max(1, sim.now)
+                ports: Dict[str, Any] = {}
+                for port in topology.ports():
+                    ports[port.name] = {
+                        "bytes": int(port.pipe.total_units),
+                        "busy_ns": port.pipe.busy_ns,
+                        "utilization": round(
+                            min(1.0, port.pipe.busy_ns / elapsed), 4),
+                    }
+                if ports:
+                    fabric["topology.ports"] = ports
             for node in fb.nodes:
                 nodes[str(node.id)] = self._node_snapshot(node)
         for ep in self._endpoints:

@@ -5,9 +5,11 @@ nanoseconds** and exports the Chrome trace-event format, loadable in
 ``chrome://tracing`` or https://ui.perfetto.dev.  The mapping follows the
 hardware structure of the simulation:
 
-* one trace **process** (pid) per cluster node,
+* one trace **process** (pid) per cluster node, plus one pseudo-process
+  per switch of the fabric topology (pid ``num_nodes + switch_index``),
 * one trace **thread** (tid) per serialized resource on that node — a QP,
-  an endpoint, or a NIC pipe (``egress``/``ingress``/``nicproc``).
+  an endpoint, a NIC pipe (``egress``/``ingress``/``nicproc``), or a
+  switch trunk port.
 
 Two span styles are used deliberately:
 
@@ -81,6 +83,17 @@ class Tracer:
             name = f"{self.label}/node{node_id}" if self.label else f"node{node_id}"
             self._pids[pid] = name
         return pid
+
+    def name_process(self, node_id: int, name: str) -> None:
+        """Pre-name a trace process before any event lands on it.
+
+        Used for pseudo-nodes that are not cluster machines — switches
+        get pid ``num_nodes + switch_index`` with their graph name, so
+        trunk-port spans group under e.g. ``leaf0`` instead of a
+        phantom ``node9``.  A name set here wins over the ``node{id}``
+        auto-naming."""
+        pid = self.pid_base + node_id
+        self._pids[pid] = f"{self.label}/{name}" if self.label else name
 
     def _tid(self, pid: int, track: str) -> int:
         key = (pid, track)
@@ -207,6 +220,9 @@ class NullTracer:
     events: tuple = ()
 
     def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def name_process(self, *args, **kwargs) -> None:
         pass
 
     def span(self, *args, **kwargs) -> None:

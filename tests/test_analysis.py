@@ -162,6 +162,33 @@ class TestVS105SetIterationOrder:
         assert lint_source("core/evil.py", source) == []
 
 
+class TestVS106TopologyBypass:
+    BAD = (
+        "def blast(self, pkt):\n"
+        "    self.fabric.route(pkt)\n"
+        "    fabric.route_mcast(pkt, 7)\n"
+    )
+
+    def test_direct_route_calls_flagged(self):
+        violations = lint_source("bench/evil.py", self.BAD)
+        assert rules_of(violations) == ["VS106", "VS106"]
+        assert "topology bypass" in violations[0].message
+
+    def test_fabric_and_verbs_layers_are_exempt(self):
+        assert lint_source("fabric/network.py", self.BAD) == []
+        assert lint_source("verbs/qp.py", self.BAD) == []
+
+    def test_baselines_and_kernel_bench_are_exempt(self):
+        # The kernel-bypass baselines and the routing microbenchmark
+        # legitimately drive the fabric without Queue Pairs.
+        assert lint_source("baselines/ipoib.py", self.BAD) == []
+        assert lint_source("bench/kernel.py", self.BAD) == []
+
+    def test_unrelated_route_methods_are_clean(self):
+        source = "app.route('/healthz')\nrouter.route(msg)\n"
+        assert lint_source("bench/evil.py", source) == []
+
+
 class TestLintMachinery:
     def test_syntax_error_becomes_vs000(self):
         violations = lint_source("core/broken.py", "def f(:\n")

@@ -18,6 +18,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.fabric import (
+    DUAL_RAIL,
+    EDR,
+    LEAF_SPINE,
+    SINGLE_SWITCH,
+    ClusterConfig,
+    Fabric,
+    Packet,
+)
 from repro.sim import Simulator
 from tests.test_determinism import DESIGN_NAMES, run_once
 
@@ -47,6 +56,56 @@ def test_fastpath_matches_legacy_generators(design, monkeypatch):
     assert fast_spans == slow_spans, "trace span counts diverge"
     assert _comparable(fast_snap) == _comparable(slow_snap), \
         "modeled metrics diverge"
+
+
+# -- multicast legs under jitter and loss -----------------------------------
+
+def _mcast_ab_run(flat, topology):
+    """Blast multicast datagrams with jitter and loss injection enabled;
+    returns every per-leg outcome in completion order."""
+    sim = Simulator()
+    config = ClusterConfig(network=EDR, num_nodes=8,
+                           topology=topology).with_network(
+        ud_jitter_ns=2600, ud_loss_probability=0.25)
+    fabric = Fabric(sim, config)
+    fabric.flat_routing = flat
+    mgid = 7
+    for node in range(1, 8):
+        fabric.mcast_attach(mgid, node, 200 + node)
+    outcomes = []
+
+    def wait_leg(leg):
+        copy = yield leg
+        outcomes.append((sim.now, copy.dst_node, copy.dropped))
+
+    def collect(fanned_out):
+        legs = yield fanned_out
+        for leg in legs:
+            sim.process(wait_leg(leg))
+
+    for seq in range(16):
+        pkt = Packet(0, 0, 11, 0, "SEND", 2048, 2108, meta={"seq": seq})
+        sim.process(collect(fabric.route_mcast(pkt, mgid)))
+    sim.run()
+    return (tuple(outcomes), sim.now,
+            fabric.delivered_messages, fabric.dropped_messages)
+
+
+@pytest.mark.parametrize("topology", [
+    SINGLE_SWITCH, LEAF_SPINE(oversubscription=2), DUAL_RAIL,
+], ids=["single-switch", "leaf-spine", "dual-rail"])
+def test_mcast_legs_match_legacy_under_jitter_and_loss(topology):
+    """Multicast exercises walker paths unicast cannot: the trunk hands
+    over to a fan-out terminal, and every leg draws jitter *and* loss.
+    Arrival times, completion order, and drop decisions must be
+    bit-identical across the two routing variants."""
+    fast = _mcast_ab_run(True, topology)
+    slow = _mcast_ab_run(False, topology)
+    assert fast == slow
+    outcomes, _now, delivered, dropped = fast
+    assert delivered + dropped == len(outcomes) == 16 * 7
+    assert dropped > 0, "loss injection should have dropped some legs"
+    assert delivered > 0
 
 
 # -- same-timestamp FIFO ----------------------------------------------------

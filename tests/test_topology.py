@@ -1,0 +1,285 @@
+"""Unit tests for the explicit switch/route layer (fabric.topology)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.bench.workloads import run_repartition
+from repro.fabric import (
+    DUAL_RAIL,
+    EDR,
+    LEAF_SPINE,
+    SINGLE_SWITCH,
+    ClusterConfig,
+    Fabric,
+    Packet,
+    TopologySpec,
+    parse_topology,
+)
+from repro.fabric.config import default_topology, set_default_topology
+from repro.fabric.topology import Hop, Topology
+from repro.sim import Simulator
+
+MIB = 1 << 20
+
+
+def make_topology(spec, nodes=8, network=EDR):
+    return Topology(Simulator(), spec, network, nodes)
+
+
+class TestTopologySpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TopologySpec("fat-tree")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TopologySpec("leaf-spine", oversubscription=0)
+        with pytest.raises(ValueError):
+            TopologySpec("leaf-spine", nodes_per_leaf=0)
+        with pytest.raises(ValueError):
+            TopologySpec("dual-rail", rails=0)
+
+    def test_describe(self):
+        assert "full bisection" in SINGLE_SWITCH.describe()
+        assert "4:1" in LEAF_SPINE(oversubscription=4).describe()
+        assert "2 planes" in DUAL_RAIL.describe()
+
+    def test_parse_topology_forms(self):
+        assert parse_topology("single-switch") == SINGLE_SWITCH
+        assert parse_topology("dual-rail") == DUAL_RAIL
+        assert parse_topology("leaf-spine") == LEAF_SPINE()
+        assert parse_topology("leaf-spine:4") == LEAF_SPINE(oversubscription=4)
+        assert parse_topology("leaf-spine:2:8") == LEAF_SPINE(
+            oversubscription=2, nodes_per_leaf=8)
+
+    def test_parse_topology_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_topology("clos")
+        with pytest.raises(ValueError):
+            parse_topology("single-switch:2")
+        with pytest.raises(ValueError):
+            parse_topology("dual-rail:3")
+
+    def test_default_topology_is_single_switch(self):
+        assert default_topology() == SINGLE_SWITCH
+        assert ClusterConfig(network=EDR, num_nodes=2).topology == \
+            SINGLE_SWITCH
+
+    def test_set_default_topology_retargets_new_configs(self):
+        previous = set_default_topology(DUAL_RAIL)
+        try:
+            assert ClusterConfig(network=EDR, num_nodes=2).topology == \
+                DUAL_RAIL
+        finally:
+            set_default_topology(previous)
+        assert ClusterConfig(network=EDR, num_nodes=2).topology == \
+            SINGLE_SWITCH
+
+    def test_with_topology(self):
+        config = ClusterConfig(network=EDR, num_nodes=4)
+        derived = config.with_topology(DUAL_RAIL)
+        assert derived.topology == DUAL_RAIL
+        assert config.topology == SINGLE_SWITCH
+
+
+class TestHop:
+    def test_rejects_float_latency(self):
+        # The Hop constructor is the single int-ns rounding boundary.
+        with pytest.raises(TypeError):
+            Hop(None, 1000.0)
+
+    def test_rejects_bool_and_negative(self):
+        with pytest.raises(TypeError):
+            Hop(None, True)
+        with pytest.raises(ValueError):
+            Hop(None, -1)
+
+
+class TestSingleSwitch:
+    def test_loopback_route_is_empty(self):
+        topo = make_topology(SINGLE_SWITCH)
+        assert topo.route(3, 3).hops == ()
+
+    def test_unicast_is_one_portless_hop(self):
+        topo = make_topology(SINGLE_SWITCH)
+        (hop,) = topo.route(0, 5).hops
+        assert hop.port is None
+        assert hop.latency_ns == EDR.switch_latency_ns
+
+    def test_all_pairs_share_one_hop_object(self):
+        # Hop identity is what multicast uses to find the replication
+        # point — the degenerate fabric must present a single switch.
+        topo = make_topology(SINGLE_SWITCH)
+        hops = {topo.route(s, d).hops[0]
+                for s in range(4) for d in range(4) if s != d}
+        assert len(hops) == 1
+
+    def test_no_trunk_ports(self):
+        topo = make_topology(SINGLE_SWITCH)
+        assert topo.ports() == []
+        assert len(topo.switches) == 1
+
+
+class TestLeafSpine:
+    def test_same_leaf_matches_single_switch_shape(self):
+        topo = make_topology(LEAF_SPINE(oversubscription=4))
+        (hop,) = topo.route(0, 3).hops  # both on leaf0
+        assert hop.port is None
+        assert hop.latency_ns == EDR.switch_latency_ns
+
+    def test_cross_leaf_pays_three_switches_and_two_trunks(self):
+        topo = make_topology(LEAF_SPINE(oversubscription=2))
+        up, spine, down = topo.route(0, 6).hops  # leaf0 -> leaf1
+        assert up.port.name == "leaf0.up"
+        assert spine.port is None
+        assert down.port.name == "spine0.down1"
+
+    def test_trunk_rate_scales_with_oversubscription(self):
+        for k in (1, 2, 4):
+            topo = make_topology(LEAF_SPINE(oversubscription=k))
+            up = topo.route(0, 6).hops[0]
+            assert up.port.pipe.rate == pytest.approx(
+                4 * EDR.link_bytes_per_ns / k)
+
+    def test_cross_leaf_pairs_share_trunk_ports(self):
+        topo = make_topology(LEAF_SPINE())
+        a = topo.route(0, 4).hops
+        b = topo.route(1, 7).hops
+        assert a[0].port is b[0].port  # leaf0.up
+        assert a[2].port is b[2].port  # spine0.down1
+
+    def test_single_leaf_cluster_has_no_spine(self):
+        topo = make_topology(LEAF_SPINE(nodes_per_leaf=8), nodes=8)
+        assert [s.name for s in topo.switches] == ["leaf0"]
+        assert topo.ports() == []
+        (hop,) = topo.route(0, 7).hops
+        assert hop.port is None
+
+
+class TestDualRail:
+    def test_rail_striping_by_parity(self):
+        topo = make_topology(DUAL_RAIL)
+        (even,) = topo.route(0, 2).hops
+        (odd,) = topo.route(0, 3).hops
+        assert even.port.name == "rail0.out2"
+        assert odd.port.name == "rail1.out3"
+
+    def test_loopback_route_is_empty(self):
+        topo = make_topology(DUAL_RAIL)
+        assert topo.route(2, 2).hops == ()
+
+    def test_incast_converges_on_one_output_port(self):
+        # Two senders hitting one destination over the same rail
+        # serialize at its output port before reaching the NIC.
+        topo = make_topology(DUAL_RAIL)
+        (a,) = topo.route(0, 2).hops
+        (b,) = topo.route(4, 2).hops
+        assert a.port is b.port
+
+
+class TestMulticastRoute:
+    def test_single_switch_replicates_at_the_switch(self):
+        topo = make_topology(SINGLE_SWITCH)
+        trunk, legs = topo.mcast_route(0, (1, 2, 3))
+        assert trunk == ()
+        assert all(len(hops) == 1 for hops in legs.values())
+
+    def test_leaf_spine_shares_the_trunk_to_a_remote_leaf(self):
+        topo = make_topology(LEAF_SPINE())
+        trunk, legs = topo.mcast_route(0, (4, 5, 6))
+        # All members behind leaf1: the uplink and the spine traversal
+        # are walked once; each replica pays the spine0.down1 hop.
+        assert len(trunk) == 2
+        assert trunk[0].port.name == "leaf0.up"
+        assert all(hops == (topo.route(0, 4).hops[2],)
+                   for hops in legs.values())
+
+    def test_mixed_membership_replicates_at_the_source_leaf(self):
+        topo = make_topology(LEAF_SPINE())
+        trunk, legs = topo.mcast_route(0, (1, 4))
+        # Member 1 is same-leaf, member 4 is cross-leaf: nothing beyond
+        # the sender's leaf is common, so legs carry the full paths.
+        assert trunk == ()
+        assert len(legs[1]) == 1
+        assert len(legs[4]) == 3
+
+    def test_empty_membership(self):
+        topo = make_topology(SINGLE_SWITCH)
+        assert topo.mcast_route(0, ()) == ((), {})
+
+
+class TestEndToEnd:
+    def test_repartition_completes_on_leaf_spine(self):
+        cluster = Cluster(ClusterConfig(
+            network=EDR, num_nodes=8,
+            topology=LEAF_SPINE(oversubscription=4)))
+        result = run_repartition(cluster, "MESQ/SR",
+                                 bytes_per_node=2 * MIB)
+        assert result.receive_throughput_gib_per_node() > 0
+        assert cluster.fabric.delivered_messages > 0
+        # The trunks carried the cross-leaf share of the shuffle.
+        assert all(p.pipe.total_units > 0
+                   for p in cluster.fabric.topology.ports())
+
+    def test_repartition_completes_on_dual_rail(self):
+        cluster = Cluster(ClusterConfig(
+            network=EDR, num_nodes=4, topology=DUAL_RAIL))
+        result = run_repartition(cluster, "MEMQ/SR",
+                                 bytes_per_node=2 * MIB)
+        assert result.receive_throughput_gib_per_node() > 0
+        carried = [p for p in cluster.fabric.topology.ports()
+                   if p.pipe.total_units > 0]
+        assert carried  # striped traffic reached the rail output ports
+
+    def test_oversubscription_slows_cross_leaf_traffic(self):
+        def elapsed(k):
+            sim = Simulator()
+            fabric = Fabric(sim, ClusterConfig(
+                network=EDR, num_nodes=8,
+                topology=LEAF_SPINE(oversubscription=k)))
+
+            def proc():
+                # Cross-leaf transfer: must squeeze through leaf0.up.
+                pkt = Packet(0, 4, 1, 2, "SEND", 4 * MIB, 4 * MIB)
+                yield fabric.route(pkt)
+                return sim.now
+
+            return sim.run_process(proc())
+
+        assert elapsed(4) > elapsed(1)
+
+    def test_snapshot_reports_topology_ports(self):
+        cluster = Cluster(ClusterConfig(
+            network=EDR, num_nodes=8,
+            topology=LEAF_SPINE(oversubscription=2)))
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=2 * MIB)
+        fabric = cluster.metrics_snapshot()["fabric"]
+        assert fabric["topology.kind"] == "leaf-spine"
+        ports = fabric["topology.ports"]
+        assert set(ports) == {"leaf0.up", "leaf1.up",
+                              "spine0.down0", "spine0.down1"}
+        for stats in ports.values():
+            assert stats["bytes"] > 0
+            assert 0.0 <= stats["utilization"] <= 1.0
+
+    def test_single_switch_snapshot_has_no_ports_key(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=2 * MIB)
+        fabric = cluster.metrics_snapshot()["fabric"]
+        assert fabric["topology.kind"] == "single-switch"
+        assert "topology.ports" not in fabric
+
+    def test_trace_names_switches_as_pseudo_processes(self):
+        cluster = Cluster(ClusterConfig(
+            network=EDR, num_nodes=8,
+            topology=LEAF_SPINE(oversubscription=2)))
+        tracer = cluster.enable_tracing()
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=2 * MIB)
+        meta = {e["args"]["name"]: e["pid"]
+                for e in tracer.to_dict()["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        # Switches trace under their graph names, after the real nodes.
+        assert meta["leaf0"] == 8 and meta["spine0"] == 10
+        spans = [e for e in tracer.to_dict()["traceEvents"]
+                 if e.get("pid") in (8, 9, 10) and e["ph"] == "B"]
+        assert spans  # trunk forwarding was recorded
