@@ -50,6 +50,10 @@ STATIC_RULES: Dict[str, str] = {
         "Fabric.route()/route_mcast() called outside fabric/ and "
         "verbs/ (topology bypass: go through the verbs API so the "
         "switch-path model applies)"),
+    "VS107": (
+        "tracer event emitted without a simulated-ns timestamp "
+        "(pass ts_ns= or the event lands at poll time, skewing the "
+        "critical-path analyzer)"),
 }
 
 
@@ -276,6 +280,45 @@ def _rule_vs106(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
                    f"bypass; send through the verbs API)")
 
 
+#: tracer methods whose 4th positional parameter is the ``ts_ns`` stamp.
+_TS_EVENT_METHODS = frozenset({"begin", "end", "instant", "counter"})
+
+
+def _rule_vs107(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Timestamp-less tracer events in simulation-ordered code (VS107).
+
+    ``Tracer.begin/end/instant/counter`` default ``ts_ns`` to the *call
+    moment* (``sim.now``).  Instrumentation sites inside the simulation
+    frequently record an event for an earlier or later instant (a span
+    reconstructed after a poll, a stall noticed on wakeup); relying on
+    the default silently stamps those at emission time, which skews the
+    causal record the ``repro.obs`` critical-path analyzer consumes.
+    Sites must pass the timestamp explicitly — positionally (the 4th
+    argument) or as ``ts_ns=`` — or use ``complete``/``span``, whose
+    start times are always explicit.
+    """
+    if not _in_scope(rel, _SIM_ORDERED):
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TS_EVENT_METHODS):
+            continue
+        base = node.func.value
+        mentions_tracer = (
+            (isinstance(base, ast.Name) and "tracer" in base.id)
+            or (isinstance(base, ast.Attribute) and "tracer" in base.attr))
+        if not mentions_tracer:
+            continue  # e.g. registry.counter(name): a metrics instrument
+        has_ts = (len(node.args) >= 4
+                  or any(kw.arg == "ts_ns" for kw in node.keywords))
+        if not has_ts:
+            yield (node.lineno,
+                   f"tracer.{node.func.attr}() without ts_ns: the event "
+                   f"is stamped at emission time, not the instant it "
+                   f"describes (pass ts_ns= explicitly)")
+
+
 _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS101": _rule_vs101,
     "VS102": _rule_vs102,
@@ -283,6 +326,7 @@ _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS104": _rule_vs104,
     "VS105": _rule_vs105,
     "VS106": _rule_vs106,
+    "VS107": _rule_vs107,
 }
 
 

@@ -7,6 +7,7 @@ Regenerates the paper's tables and figures::
     repro-bench fig10 --json out.json   # machine-readable output
     repro-bench fig8 --trace t.json     # Perfetto-loadable trace
     repro-bench fig11 --metrics m.json  # per-node transport metrics
+    repro-bench fig8 --report r.json    # latency-attribution RunReport
 """
 
 from __future__ import annotations
@@ -51,6 +52,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", metavar="PATH",
                         help="dump per-experiment telemetry snapshots "
                              "(per-node NIC/verbs/endpoint counters) as JSON")
+    parser.add_argument("--report", metavar="PATH",
+                        help="record causal link telemetry and dump a "
+                             "schema-versioned RunReport (latency "
+                             "attribution, percentiles, port utilization) "
+                             "as JSON; diff two reports with "
+                             "'python -m repro.obs diff'")
     parser.add_argument("--trace", metavar="PATH",
                         help="record a Chrome trace-event file of every "
                              "simulated run (load in Perfetto / "
@@ -107,7 +114,8 @@ def _run(args, parser) -> int:
 
     experiments_out = []
     with session(trace=args.trace is not None,
-                 sanitize=args.sanitize) as sess:
+                 sanitize=args.sanitize,
+                 report=args.report is not None) as sess:
         for name in names:
             start = time.time()
             results = ALL_EXPERIMENTS[name](scale=args.scale)
@@ -143,6 +151,10 @@ def _run(args, parser) -> int:
             with open(args.metrics, "w") as fh:
                 json.dump(sess.metrics_document(), fh, indent=2)
             print(f"wrote {args.metrics}", file=sys.stderr)
+        if args.report:
+            with open(args.report, "w") as fh:
+                json.dump(sess.report_document(), fh, indent=2)
+            print(f"wrote {args.report}", file=sys.stderr)
         if args.trace:
             sess.export_trace(args.trace)
             print(f"wrote {args.trace}", file=sys.stderr)

@@ -85,6 +85,18 @@ class Cluster:
         """
         return self.telemetry.enable_tracing(max_events=max_events)
 
+    def enable_reporting(self, budget=None):
+        """Record causal link records so :meth:`run_report` can attribute
+        this cluster's time (see repro.obs).  Idempotent; call before
+        building stages, like :meth:`enable_tracing`.
+        """
+        return self.telemetry.enable_links(budget=budget)
+
+    def run_report(self, t0: int = 0, t1: int = None) -> Dict[str, Any]:
+        """Build this cluster's RunReport (requires enable_reporting())."""
+        from repro.obs.report import build_run_report
+        return build_run_report(self.telemetry, t0=t0, t1=t1)
+
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Harvest a JSON-ready metrics snapshot of the whole cluster."""
         return self.telemetry.snapshot()

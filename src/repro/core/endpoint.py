@@ -231,6 +231,10 @@ class _EndpointBase:
             self.ctx.tracer.complete(
                 self.ctx.node_id, f"ep{self.endpoint_id}", name, t0,
                 waited, "endpoint")
+            links = self.ctx.links
+            if links is not None:
+                links.stall(self.ctx.node_id, self.endpoint_id, name, t0,
+                            waited)
 
     def _charge_registration(self, nbytes: int):
         """Process fragment: charge memory pin+register time for ``nbytes``
@@ -373,15 +377,23 @@ class ReceiveEndpoint(_EndpointBase):
 
     # -- shared internals ------------------------------------------------------
 
-    def _deliver(self, src_endpoint: int, remote_addr: int, local) -> None:
+    def _deliver(self, src_endpoint: int, remote_addr: int, local,
+                 flow: int = 0) -> None:
         """Hand one received buffer to the application inbox.
 
         The single receive-side instrumentation point: every transport
         routes arriving data through here, so message/byte accounting is
-        uniform across designs.
+        uniform across designs.  ``flow`` closes the causal DAG edge when
+        link recording is on: the flow's delivery time is stamped and the
+        buffer remembered, so a later credit return can name the data
+        message that freed it.
         """
         self.messages_received += 1
         self.bytes_received += local.length
+        if flow:
+            links = self.ctx.links
+            if links is not None:
+                links.on_deliver(flow, local)
         self._inbox.put((DataState.MORE_DATA, src_endpoint, remote_addr,
                          local))
 

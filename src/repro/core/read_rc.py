@@ -235,7 +235,7 @@ class ReadRCReceiveEndpoint(RuntimeReceiveEndpoint):
             self._source_depleted(src_ep)
         else:
             local.deposit(frame.payload, frame.length)
-            self._deliver(src_ep, remote_addr, local)
+            self._deliver(src_ep, remote_addr, local, flow=wc.flow)
 
     # -- RELEASE (Alg 3, lines 16-18) ----------------------------------------------
 

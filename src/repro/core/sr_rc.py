@@ -133,7 +133,8 @@ class SRRCReceiveEndpoint(CreditedReceiveEndpoint):
         frame: Frame = buf.payload
         if frame.kind == "data":
             buf.deposit(frame.payload, frame.length)
-            self._deliver(frame.src_endpoint, frame.remote_addr, buf)
+            self._deliver(frame.src_endpoint, frame.remote_addr, buf,
+                          flow=wc.flow)
         elif frame.kind == "final":
             # Repost the consumed Receive, without issuing credit: the
             # stream has ended and the sender needs none.

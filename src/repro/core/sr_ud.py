@@ -187,7 +187,8 @@ class SRUDReceiveEndpoint(CreditedReceiveEndpoint):
         conn.received += 1
         if frame.kind == "data":
             buf.deposit(frame.payload, frame.length)
-            self._deliver(frame.src_endpoint, frame.remote_addr, buf)
+            self._deliver(frame.src_endpoint, frame.remote_addr, buf,
+                          flow=wc.flow)
         elif frame.kind == "final":
             conn.expected = frame.total
             buf.reset()

@@ -194,6 +194,11 @@ class CreditedReceiveEndpoint(RuntimeReceiveEndpoint):
             # Credit is issued strictly after the Receive is reposted and
             # amortized over credit_frequency Receives (§5.1.1).
             yield self._cpu(self.net.post_wr_ns)
+            links = self.ctx.links
+            if links is not None:
+                # Causal edge: the credit WR posted synchronously below is
+                # triggered by the data flow that occupied this buffer.
+                links.pending_trigger = links.buffer_flow(local)
             self._return_credit(conn)
 
     # -- posting policy supplied by the design -----------------------------

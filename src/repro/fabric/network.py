@@ -89,6 +89,10 @@ class Fabric:
         #: runtime sanitizer; ``None`` unless Cluster.enable_sanitizer()
         #: (or repro.analysis.sanitizer.attach_sanitizer) installed one.
         self.sanitizer: Optional[Any] = None
+        #: causal link recorder, mirrored here by Telemetry.enable_links()
+        #: so the routing walkers can record trunk occupancy without an
+        #: attribute chase; None keeps recording a single branch.
+        self.links = getattr(self.telemetry, "links", None)
         #: InfiniBand multicast groups: mgid -> set of (node_id, qpn)
         #: attached UD QPs.  The fabric replicates a single sender packet
         #: to every member at the last common switch, so the sender's
@@ -205,7 +209,7 @@ class Fabric:
             src_node=packet.src_node, dst_node=node_id,
             src_qpn=packet.src_qpn, dst_qpn=qpn, kind=packet.kind,
             length=packet.length, wire_bytes=packet.wire_bytes,
-            payload=packet.payload, meta=packet.meta,
+            payload=packet.payload, meta=packet.meta, flow=packet.flow,
         )
         if self.flat_routing:
             routing.flat_leg(self, copy, hops, leg)

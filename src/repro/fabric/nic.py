@@ -13,6 +13,13 @@ that fell out of the cache stalls the processing engine for a PCIe round
 trip.  This is the documented mechanism ([8, 16, 17] in the paper) behind
 the degradation of the many-Queue-Pair designs on FDR hardware at 16 nodes
 (Figs 10 and 11), so it is modeled explicitly.
+
+When a :class:`~repro.telemetry.links.FlowRecorder` is installed on
+``self.links``, every occupancy interval is recorded with its base /
+cache-penalty / DMA-extra decomposition before entering the pipe.  The
+records are appended from the same positions on the generator and
+flat-callback paths (all NIC entry points below are shared by both), so
+recording cannot perturb event order.
 """
 
 from __future__ import annotations
@@ -94,6 +101,9 @@ class NIC:
         #: cumulative processing-engine stall waiting on PCIe round trips
         #: for cold QP contexts (the Fig 10/11 degradation mechanism).
         self.pcie_stall_ns = 0
+        #: causal link recorder (repro.telemetry.links), installed by
+        #: Telemetry.enable_links(); None keeps the hot path branch-only.
+        self.links = None
 
     def _qp_touch_penalty(self, qpn: int) -> int:
         if self.disable_qp_cache:
@@ -103,21 +113,41 @@ class NIC:
         self.pcie_stall_ns += self.config.qp_cache_miss_ns
         return self.config.qp_cache_miss_ns
 
-    def process_wr(self, qpn: int, extra_ns: int = 0) -> Event:
+    def _record_proc(self, penalty: int, extra_ns: int, flow: int) -> None:
+        busy_until = self.processor.busy_until
+        now = self.sim.now
+        start = busy_until if busy_until > now else now
+        self.links.pipe("proc", self.node_id, start, self.config.nic_wr_ns,
+                        penalty, extra_ns, max(0, busy_until - now), flow)
+
+    def _record_link(self, kind: str, pipe: RatePipe, wire_bytes: int,
+                     penalty: int, flow: int) -> None:
+        busy_until = pipe.busy_until
+        now = self.sim.now
+        start = busy_until if busy_until > now else now
+        self.links.pipe(kind, self.node_id, start,
+                        pipe._serialization_ns(wire_bytes), penalty, 0,
+                        max(0, busy_until - now), flow)
+
+    def process_wr(self, qpn: int, extra_ns: int = 0, flow: int = 0) -> Event:
         """Occupy the processing engine for one work request on ``qpn``.
 
         Returns the event fired when the NIC has finished processing (the
         point at which the message starts serializing onto the wire).
         """
         penalty = self._qp_touch_penalty(qpn)
+        if self.links is not None:
+            self._record_proc(penalty, extra_ns, flow)
         return self.processor.occupy(self.config.nic_wr_ns + penalty + extra_ns)
 
-    def transmit(self, wire_bytes: int) -> Event:
+    def transmit(self, wire_bytes: int, flow: int = 0) -> Event:
         """Serialize ``wire_bytes`` onto the outbound link."""
         self.tx_messages += 1
+        if self.links is not None:
+            self._record_link("egress", self.egress, wire_bytes, 0, flow)
         return self.egress.transmit(wire_bytes)
 
-    def receive(self, wire_bytes: int, qpn: int) -> Event:
+    def receive(self, wire_bytes: int, qpn: int, flow: int = 0) -> Event:
         """Serialize ``wire_bytes`` off the inbound link into ``qpn``.
 
         The receive path also touches the destination QP context, so a
@@ -126,24 +156,35 @@ class NIC:
         """
         self.rx_messages += 1
         penalty = self._qp_touch_penalty(qpn)
+        if self.links is not None:
+            self._record_link("ingress", self.ingress, wire_bytes, penalty,
+                              flow)
         return self.ingress.transmit(wire_bytes, extra_ns=penalty)
 
     def submit_wr(self, qpn: int, func: "Callable[[], None]",
-                  extra_ns: int = 0) -> None:
+                  extra_ns: int = 0, flow: int = 0) -> None:
         """Hot-path twin of :meth:`process_wr`."""
         penalty = self._qp_touch_penalty(qpn)
+        if self.links is not None:
+            self._record_proc(penalty, extra_ns, flow)
         self.processor.submit_occupy(
             self.config.nic_wr_ns + penalty + extra_ns, func)
 
-    def submit_tx(self, wire_bytes: int, func: "Callable[[], None]") -> None:
+    def submit_tx(self, wire_bytes: int, func: "Callable[[], None]",
+                  flow: int = 0) -> None:
         """Hot-path twin of :meth:`transmit`: run ``func()`` at completion
         instead of returning an event (see :meth:`RatePipe.submit`)."""
         self.tx_messages += 1
+        if self.links is not None:
+            self._record_link("egress", self.egress, wire_bytes, 0, flow)
         self.egress.submit(wire_bytes, func)
 
     def submit_rx(self, wire_bytes: int, qpn: int,
-                  func: "Callable[[], None]") -> None:
+                  func: "Callable[[], None]", flow: int = 0) -> None:
         """Hot-path twin of :meth:`receive`."""
         self.rx_messages += 1
         penalty = self._qp_touch_penalty(qpn)
+        if self.links is not None:
+            self._record_link("ingress", self.ingress, wire_bytes, penalty,
+                              flow)
         self.ingress.submit(wire_bytes, func, extra_ns=penalty)

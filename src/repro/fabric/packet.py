@@ -33,6 +33,8 @@ class Packet:
     meta: dict = field(default_factory=dict)
     #: set True by the fabric when loss injection dropped this packet.
     dropped: bool = False
+    #: causal flow id (repro.telemetry.links); 0 when recording is off.
+    flow: int = 0
 
     def __post_init__(self):
         if self.length < 0:

@@ -42,6 +42,22 @@ __all__ = ["flat_route", "proc_route", "flat_leg", "proc_leg"]
 Terminal = Optional[Callable[[], None]]
 
 
+def _record_trunk(fabric, port, packet: Packet) -> None:
+    """Record one trunk-port occupancy for the critical-path analyzer.
+
+    Called from the same position on both walkers, immediately before the
+    pipe entry, so the pre-submit ``busy_until`` read gives the interval
+    start and the queueing delay without touching simulation state.
+    """
+    pipe = port.pipe
+    busy_until = pipe.busy_until
+    now = fabric.sim.now
+    start = busy_until if busy_until > now else now
+    fabric.links.pipe("trunk", port.name, start,
+                      pipe._serialization_ns(packet.wire_bytes), 0, 0,
+                      max(0, busy_until - now), packet.flow)
+
+
 def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
                unordered: bool, lossy: bool, done: Event,
                terminal: Terminal) -> Callable[[], None]:
@@ -67,7 +83,7 @@ def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
                 done.succeed(packet)
                 return
         fabric.nodes[packet.dst_node].nic.submit_rx(
-            packet.wire_bytes, packet.dst_qpn, deliver)
+            packet.wire_bytes, packet.dst_qpn, deliver, flow=packet.flow)
 
     finish = terminal if terminal is not None else ingress
 
@@ -108,6 +124,8 @@ def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
         if hop.port is None:
             forward()
         else:
+            if fabric.links is not None:
+                _record_trunk(fabric, hop.port, packet)
             hop.port.pipe.submit(packet.wire_bytes, forward)
 
     return lambda: advance(0)
@@ -127,7 +145,7 @@ def flat_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
     src_nic = fabric.nodes[packet.src_node].nic
 
     def start() -> None:
-        src_nic.submit_tx(packet.wire_bytes, after_egress)
+        src_nic.submit_tx(packet.wire_bytes, after_egress, flow=packet.flow)
 
     def after_egress() -> None:
         if egress_event is not None:
@@ -151,7 +169,8 @@ def proc_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
                egress_event: Optional[Event] = None,
                terminal: Terminal = None):
     """Legacy generator twin of :func:`flat_route` (``REPRO_FASTPATH=0``)."""
-    yield fabric.nodes[packet.src_node].nic.transmit(packet.wire_bytes)
+    yield fabric.nodes[packet.src_node].nic.transmit(packet.wire_bytes,
+                                                     flow=packet.flow)
     if egress_event is not None:
         egress_event.succeed(packet)
     yield from _proc_walk(fabric, packet, hops, unordered, lossy, done,
@@ -175,6 +194,8 @@ def _proc_walk(fabric, packet: Packet, hops: Sequence[Hop],
             latency += rng.randrange(config.ud_jitter_ns)
         assert type(latency) is int, "hop latency must be integer ns"
         if hop.port is not None:
+            if fabric.links is not None:
+                _record_trunk(fabric, hop.port, packet)
             yield hop.port.pipe.transmit(packet.wire_bytes)
         yield sim.timeout(latency)
     if terminal is not None:
@@ -187,6 +208,6 @@ def _proc_walk(fabric, packet: Packet, hops: Sequence[Hop],
             done.succeed(packet)
             return
     yield fabric.nodes[packet.dst_node].nic.receive(
-        packet.wire_bytes, packet.dst_qpn)
+        packet.wire_bytes, packet.dst_qpn, flow=packet.flow)
     fabric.delivered_messages += 1
     done.succeed(packet)

@@ -24,6 +24,7 @@ from repro.telemetry.core import (
     nic_cache_stats,
     set_enabled,
 )
+from repro.telemetry.links import FlowRecorder
 from repro.telemetry.metrics import (
     DEFAULT_NS_BUCKETS,
     NULL_REGISTRY,
@@ -32,6 +33,8 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    latency_summary,
+    percentile,
 )
 from repro.telemetry.session import (
     TelemetrySession,
@@ -45,8 +48,11 @@ from repro.telemetry.trace import NULL_TRACER, NullTracer, TraceBudget, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_NS_BUCKETS",
+    "FlowRecorder",
     "Gauge",
     "Histogram",
+    "latency_summary",
+    "percentile",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",

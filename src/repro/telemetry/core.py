@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from repro.telemetry.links import FlowRecorder
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.telemetry.trace import NULL_TRACER, TraceBudget, Tracer
 
@@ -81,6 +82,9 @@ class Telemetry:
             self._node_registries = {}
         self._fabric = None
         self._endpoints: List[Any] = []
+        #: causal link recorder (repro.obs substrate); None keeps every
+        #: instrumentation site a single is-None branch.
+        self.links: Optional[FlowRecorder] = None
 
     # -- access ------------------------------------------------------------
 
@@ -100,6 +104,8 @@ class Telemetry:
         self._fabric = fabric
         if self.tracer is not NULL_TRACER:
             self._wire_pipes()
+        if self.links is not None:
+            self._wire_links()
 
     def register_endpoint(self, endpoint) -> None:
         """Called by endpoint constructors so stalls/skew can be harvested."""
@@ -121,6 +127,25 @@ class Telemetry:
         if self._fabric is not None:
             self._wire_pipes()
         return self.tracer
+
+    def enable_links(self, budget: Optional[TraceBudget] = None
+                     ) -> FlowRecorder:
+        """Start recording causal link records (flows, pipe intervals,
+        stalls) — the input of the ``repro.obs`` critical-path analyzer.
+
+        Like tracing, recording is append-only and cannot perturb the
+        simulation; the shared ``budget`` caps memory across a session.
+        """
+        if self.links is None:
+            self.links = FlowRecorder(self.sim, budget=budget)
+            if self._fabric is not None:
+                self._wire_links()
+        return self.links
+
+    def _wire_links(self) -> None:
+        self._fabric.links = self.links
+        for node in self._fabric.nodes:
+            node.nic.links = self.links
 
     def _wire_pipes(self) -> None:
         for node in self._fabric.nodes:

@@ -1,0 +1,181 @@
+"""Causal link records: the raw material of the critical-path analyzer.
+
+The tracer answers "what happened when"; this module answers "what paid
+for what".  While a :class:`FlowRecorder` is installed (see
+``Telemetry.enable_links`` / ``Cluster.enable_reporting``), three kinds
+of record accumulate:
+
+* **flows** — one per posted work request, forming the causal DAG: the
+  ``prev`` edge chains WRs on the same QP (FIFO order), the ``trigger``
+  edge points from a credit-return WR back to the data flow whose buffer
+  release produced it.  Posting and delivery timestamps give per-message
+  latencies.
+* **pipe intervals** — every resource-occupancy interval of a NIC
+  processor, host link, or switch trunk, split into its base
+  (serialization / WR processing) and penalty (QP-context-cache miss,
+  payload-DMA fetch) components, plus how long the unit waited behind
+  the pipe's FIFO backlog.
+* **stalls** — endpoint-visible waiting: credit stalls, free-buffer
+  waits, receiver data waits, RNR backoff.
+
+Recording is append-only and never touches the event heap, RNG, or any
+process state, so enabling it cannot perturb simulated time — the same
+guarantee the tracer gives.  All records share one :class:`TraceBudget`;
+when it runs dry the recorder degrades by dropping records (flows come
+back as id ``0``) instead of raising, and the attribution in
+``repro.obs`` simply explains less of the window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.trace import TraceBudget
+
+__all__ = ["FlowRecord", "PipeInterval", "StallInterval", "FlowRecorder",
+           "DEFAULT_LINK_RECORDS"]
+
+#: default budget for link records (flows + intervals + stalls combined).
+DEFAULT_LINK_RECORDS = 2_000_000
+
+
+class FlowRecord:
+    """One message lifecycle: WR post through delivery."""
+
+    __slots__ = ("id", "kind", "src", "dst", "size", "posted_ns",
+                 "delivered_ns", "prev", "trigger")
+
+    def __init__(self, flow_id: int, kind: str, src: int, dst: int,
+                 size: int, posted_ns: int, prev: int, trigger: int):
+        self.id = flow_id
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.posted_ns = posted_ns
+        self.delivered_ns: Optional[int] = None
+        #: previous flow posted on the same QP (FIFO predecessor).
+        self.prev = prev
+        #: data flow whose buffer release caused this (credit) flow.
+        self.trigger = trigger
+
+
+class PipeInterval:
+    """One occupancy interval of a rate pipe, decomposed by cause.
+
+    ``kind`` is one of ``proc`` (NIC WR processor), ``egress`` /
+    ``ingress`` (host links), ``trunk`` (switch port).  The interval
+    spans ``[start, start + base_ns + penalty_ns + extra_ns)``:
+    ``base_ns`` is serialization or baseline WR processing,
+    ``penalty_ns`` a QP-context-cache miss, ``extra_ns`` the payload DMA
+    fetch of a non-inlined Write.  ``waited_ns`` is how long the unit
+    queued behind the pipe's backlog before ``start``.
+    """
+
+    __slots__ = ("kind", "owner", "start", "base_ns", "penalty_ns",
+                 "extra_ns", "waited_ns", "flow")
+
+    def __init__(self, kind: str, owner, start: int, base_ns: int,
+                 penalty_ns: int, extra_ns: int, waited_ns: int, flow: int):
+        self.kind = kind
+        self.owner = owner
+        self.start = start
+        self.base_ns = base_ns
+        self.penalty_ns = penalty_ns
+        self.extra_ns = extra_ns
+        self.waited_ns = waited_ns
+        self.flow = flow
+
+
+class StallInterval:
+    """One endpoint-visible wait (credit-stall, free-wait, data-wait...)."""
+
+    __slots__ = ("node", "ep", "kind", "start", "duration")
+
+    def __init__(self, node: int, ep: int, kind: str, start: int,
+                 duration: int):
+        self.node = node
+        self.ep = ep
+        self.kind = kind
+        self.start = start
+        self.duration = duration
+
+
+class FlowRecorder:
+    """Accumulates flow/interval/stall records for one cluster run."""
+
+    def __init__(self, sim, budget: Optional[TraceBudget] = None):
+        self.sim = sim
+        self.budget = budget if budget is not None else TraceBudget(
+            DEFAULT_LINK_RECORDS)
+        self.flows: Dict[int, FlowRecord] = {}
+        self.pipes: List[PipeInterval] = []
+        self.stalls: List[StallInterval] = []
+        #: set when the budget ran dry and records were dropped.
+        self.truncated = False
+        #: one-shot trigger edge: set by the receive endpoint immediately
+        #: before returning credit; consumed by the next new_flow() on the
+        #: same synchronous call chain (release -> post credit -> post_send).
+        self.pending_trigger = 0
+        self._next_flow = 1
+        #: id(buffer) -> data flow last delivered into that buffer.
+        self._buffer_flow: Dict[int, int] = {}
+
+    # -- flow DAG ----------------------------------------------------------
+
+    def new_flow(self, kind: str, src: int, dst: int, size: int,
+                 prev: int = 0) -> int:
+        """Allocate a flow id for a freshly posted WR; 0 when over budget."""
+        trigger = self.pending_trigger
+        self.pending_trigger = 0
+        if not self.budget.take(1):
+            self.truncated = True
+            return 0
+        flow_id = self._next_flow
+        self._next_flow += 1
+        self.flows[flow_id] = FlowRecord(flow_id, kind, src, dst, size,
+                                         self.sim.now, prev, trigger)
+        return flow_id
+
+    def on_deliver(self, flow: int, buf=None) -> None:
+        """Stamp delivery time; remember which buffer now holds the flow."""
+        record = self.flows.get(flow)
+        if record is not None:
+            record.delivered_ns = self.sim.now
+        if buf is not None:
+            self._buffer_flow[id(buf)] = flow
+
+    def buffer_flow(self, buf) -> int:
+        """The data flow last delivered into ``buf`` (0 if unknown)."""
+        return self._buffer_flow.get(id(buf), 0)
+
+    # -- intervals ---------------------------------------------------------
+
+    def pipe(self, kind: str, owner, start: int, base_ns: int,
+             penalty_ns: int = 0, extra_ns: int = 0, waited_ns: int = 0,
+             flow: int = 0) -> None:
+        if not self.budget.take(1):
+            self.truncated = True
+            return
+        self.pipes.append(PipeInterval(kind, owner, start, base_ns,
+                                       penalty_ns, extra_ns, waited_ns,
+                                       flow))
+
+    def stall(self, node: int, ep: int, kind: str, start: int,
+              duration: int) -> None:
+        if duration <= 0:
+            return
+        if not self.budget.take(1):
+            self.truncated = True
+            return
+        self.stalls.append(StallInterval(node, ep, kind, start, duration))
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def dropped_records(self) -> int:
+        return self.budget.dropped
+
+    @property
+    def recorded(self) -> int:
+        return len(self.flows) + len(self.pipes) + len(self.stalls)

@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
 from repro.telemetry.core import Telemetry
+from repro.telemetry.links import DEFAULT_LINK_RECORDS
 from repro.telemetry.trace import TraceBudget, Tracer
 
 __all__ = [
@@ -42,7 +43,8 @@ def current_session() -> Optional["TelemetrySession"]:
 
 @contextmanager
 def session(trace: bool = False, trace_budget_events: int = 400_000,
-            sanitize: bool = False):
+            sanitize: bool = False, report: bool = False,
+            link_budget_records: int = DEFAULT_LINK_RECORDS):
     """Activate a TelemetrySession for the duration of the ``with`` block."""
     global _ACTIVE
     if _ACTIVE is not None:
@@ -51,7 +53,8 @@ def session(trace: bool = False, trace_budget_events: int = 400_000,
         return
     sess = TelemetrySession(trace=trace,
                             trace_budget_events=trace_budget_events,
-                            sanitize=sanitize)
+                            sanitize=sanitize, report=report,
+                            link_budget_records=link_budget_records)
     _ACTIVE = sess
     try:
         yield sess
@@ -67,9 +70,19 @@ class TelemetrySession:
 
     def __init__(self, trace: bool = False,
                  trace_budget_events: int = 400_000,
-                 sanitize: bool = False):
+                 sanitize: bool = False, report: bool = False,
+                 link_budget_records: int = DEFAULT_LINK_RECORDS):
         self.trace = trace
         self.budget = TraceBudget(trace_budget_events) if trace else None
+        #: record causal links on every cluster and seal RunReports at
+        #: checkpoint() (repro-bench --report).  One budget is shared
+        #: across all runs so report memory stays bounded session-wide.
+        self.report = report
+        self.link_budget = (TraceBudget(link_budget_records)
+                            if report else None)
+        #: sealed per-experiment report entries: {"name", "runs",
+        #: "aggregate"} (see repro.obs.report).
+        self.reports: List[Dict[str, Any]] = []
         self.telemetries: List[Telemetry] = []
         self._tracers: List[Tracer] = []
         self._runs = 0
@@ -94,6 +107,8 @@ class TelemetrySession:
                 pid_base=index * self.PID_STRIDE,
                 label=f"run{index}")
             self._tracers.append(tracer)
+        if self.report:
+            telemetry.enable_links(budget=self.link_budget)
         self.telemetries.append(telemetry)
         return telemetry
 
@@ -101,6 +116,17 @@ class TelemetrySession:
 
     def checkpoint(self, experiment: str) -> Dict[str, Any]:
         """Seal all live runs under ``experiment``; returns their digest."""
+        if self.report:
+            # Build RunReports while the clusters are still alive; the
+            # snapshots below drop every simulator reference.
+            from repro.obs.report import aggregate_reports, build_run_report
+            runs = [build_run_report(tel) for tel in self.telemetries
+                    if tel.links is not None]
+            self.reports.append({
+                "name": experiment,
+                "runs": runs,
+                "aggregate": aggregate_reports(runs),
+            })
         snapshots = [tel.snapshot() for tel in self.telemetries]
         digest = digest_snapshots(snapshots)
         self.records.append({
@@ -141,6 +167,13 @@ class TelemetrySession:
             "schema": {"name": "repro-telemetry-metrics", "version": 1},
             "experiments": self.records,
         }
+
+    def report_document(self) -> Dict[str, Any]:
+        """The ``--report`` JSON payload (see repro.obs.report)."""
+        from repro.obs.report import build_document
+        if self.telemetries:  # runs nobody checkpointed
+            self.checkpoint("(unattributed)")
+        return build_document(self.reports)
 
     # -- tracing -----------------------------------------------------------
 

@@ -30,6 +30,8 @@ class WorkCompletion:
     src_qpn: int = -1
     #: immediate data, if the sender attached any.
     imm: Optional[int] = None
+    #: causal flow id of the message this completion closes (0 = untracked).
+    flow: int = 0
 
     @property
     def ok(self) -> bool:

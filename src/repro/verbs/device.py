@@ -55,6 +55,12 @@ class VerbsContext:
     def tracer(self):
         return self.fabric.telemetry.tracer
 
+    @property
+    def links(self):
+        """The causal link recorder, or None (dynamic: reporting may be
+        enabled on the fabric after this context was created)."""
+        return self.fabric.links
+
     # -- object creation ---------------------------------------------------
 
     def _assign_qpn(self, qp: QueuePair) -> int:

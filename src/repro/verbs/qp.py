@@ -78,6 +78,10 @@ class QueuePair:
         #: because the credit protocol exists to keep them at zero).
         self.rnr_events = 0
         self.rnr_stall_ns = 0
+        #: last flow id posted on this QP — the FIFO ``prev`` edge of the
+        #: causal DAG (repro.telemetry.links); only advanced while a
+        #: recorder is installed.
+        self._last_flow = 0
 
     # -- state transitions -------------------------------------------------
 
@@ -167,6 +171,9 @@ class QueuePair:
             san.track_post_send(self, wr)
         self._send_outstanding += 1
         self.sends_posted += 1
+        links = self.ctx.links
+        if links is not None:
+            wr.flow = self._new_flow(links, wr)
         # The hot path drives the per-message protocol as a flat callback
         # chain; the generator processes are the behavioural oracle behind
         # REPRO_FASTPATH=0 (see repro.sim.fastpath).  RDMA Read/Write stay
@@ -189,6 +196,30 @@ class QueuePair:
             proc = self._ud_send(wr)
         self.ctx.sim.process(proc, name=f"qp{self.qpn}-{wr.opcode.value}")
 
+    def _new_flow(self, links, wr: SendWR) -> int:
+        """Allocate a causal flow id for a freshly posted work request.
+
+        The flow kind is the endpoint-protocol tag carried in tuple
+        ``wr_id``\\ s ("data", "final", "credit", "read", "valid",
+        "free"...), falling back to the verb opcode.  Runs at post time,
+        before the fast/legacy dispatch split, so both execution paths
+        see identical ids.
+        """
+        wid = wr.wr_id
+        if type(wid) is tuple and wid and isinstance(wid[0], str):
+            kind = wid[0]
+        else:
+            kind = str(wr.opcode.value)
+        if self.qp_type is QPType.RC:
+            dst = self._peer.node_id
+        else:
+            dst = max(wr.dest.node_id, 0)
+        flow = links.new_flow(kind, self.ctx.node_id, dst, wr.length,
+                              prev=self._last_flow)
+        if flow:
+            self._last_flow = flow
+        return flow
+
     # -- completion helpers ----------------------------------------------------
 
     def _complete_send(self, wr: SendWR, byte_len: int) -> None:
@@ -196,7 +227,7 @@ class QueuePair:
         if wr.signaled:
             self.send_cq.push(WorkCompletion(
                 wr_id=wr.wr_id, opcode=wr.opcode, byte_len=byte_len,
-                qpn=self.qpn,
+                qpn=self.qpn, flow=wr.flow,
             ))
 
     def _deposit(self, rwr: RecvWR, packet: Packet) -> None:
@@ -211,7 +242,7 @@ class QueuePair:
         self.recv_cq.push(WorkCompletion(
             wr_id=rwr.wr_id, opcode=Opcode.RECV, byte_len=packet.length,
             qpn=self.qpn, src_node=packet.src_node, src_qpn=packet.src_qpn,
-            imm=packet.meta.get("imm"),
+            imm=packet.meta.get("imm"), flow=packet.flow,
         ))
 
     # -- Reliable Connection data paths -----------------------------------------
@@ -222,14 +253,14 @@ class QueuePair:
         peer = self._peer
         assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
-        yield nic.process_wr(self.qpn)
+        yield nic.process_wr(self.qpn, flow=wr.flow)
         packet = Packet(
             src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="SEND",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "RC"),
             payload=None if wr.buffer is None else wr.buffer.payload,
-            meta={"imm": wr.imm},
+            meta={"imm": wr.imm}, flow=wr.flow,
         )
         packet = yield self.ctx.fabric.route(packet)
         remote = self.ctx.peer_context(peer.node_id)
@@ -245,12 +276,15 @@ class QueuePair:
             self.ctx.tracer.complete(
                 peer.node_id, f"qp{peer.qpn}", "rnr-stall",
                 rnr_t0, stalled, "verbs")
+            if self.ctx.links is not None:
+                self.ctx.links.stall(peer.node_id, -1, "rnr-stall",
+                                     rnr_t0, stalled)
         remote_qp._recv_posted -= 1
         remote_qp._deposit(rwr, packet)
         ack = Packet(
             src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
-            length=0, wire_bytes=config.rc_ack_bytes,
+            length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
         )
         yield self.ctx.fabric.route(ack)
         self._complete_send(wr, wr.length)
@@ -275,7 +309,7 @@ class QueuePair:
         t0 = sim.now
 
         def start() -> None:
-            ctx.nic.submit_wr(self.qpn, after_wr)
+            ctx.nic.submit_wr(self.qpn, after_wr, flow=wr.flow)
 
         def after_wr() -> None:
             packet = Packet(
@@ -284,7 +318,7 @@ class QueuePair:
                 length=wr.length,
                 wire_bytes=config.wire_bytes(wr.length, "RC"),
                 payload=None if wr.buffer is None else wr.buffer.payload,
-                meta={"imm": wr.imm},
+                meta={"imm": wr.imm}, flow=wr.flow,
             )
             ctx.fabric.route(packet).add_callback(arrived)
 
@@ -306,12 +340,15 @@ class QueuePair:
                     ctx.tracer.complete(
                         peer.node_id, f"qp{peer.qpn}", "rnr-stall",
                         rnr_t0, stalled, "verbs")
+                    if ctx.links is not None:
+                        ctx.links.stall(peer.node_id, -1, "rnr-stall",
+                                        rnr_t0, stalled)
                 remote_qp._recv_posted -= 1
                 remote_qp._deposit(rwr, packet)
                 ack = Packet(
                     src_node=peer.node_id, dst_node=ctx.node_id,
                     src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
-                    length=0, wire_bytes=config.rc_ack_bytes,
+                    length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
                 )
                 ctx.fabric.route(ack).add_callback(acked)
 
@@ -330,23 +367,23 @@ class QueuePair:
         peer = self._peer
         assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
-        yield self.ctx.nic.process_wr(self.qpn)
+        yield self.ctx.nic.process_wr(self.qpn, flow=wr.flow)
         request = Packet(
             src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="READ_REQ",
-            length=0, wire_bytes=config.rc_header_bytes,
+            length=0, wire_bytes=config.rc_header_bytes, flow=wr.flow,
         )
         yield self.ctx.fabric.route(request)
         # The remote CPU stays passive: the remote *NIC* serves the read.
         remote = self.ctx.peer_context(peer.node_id)
-        yield remote.nic.process_wr(peer.qpn)
+        yield remote.nic.process_wr(peer.qpn, flow=wr.flow)
         mr = remote.memory.resolve(wr.remote_addr)
         response = Packet(
             src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="READ_RESP",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "RC"),
-            payload=mr.get_object(wr.remote_addr),
+            payload=mr.get_object(wr.remote_addr), flow=wr.flow,
         )
         response = yield self.ctx.fabric.route(response)
         if wr.buffer is not None:
@@ -363,7 +400,7 @@ class QueuePair:
         t0 = self.ctx.sim.now
         # Inlined payloads skip the extra DMA fetch of the payload [16].
         extra = 0 if wr.inline else config.nic_wr_ns
-        yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra)
+        yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra, flow=wr.flow)
         packet = Packet(
             src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="WRITE",
@@ -371,6 +408,7 @@ class QueuePair:
             wire_bytes=config.wire_bytes(
                 max(wr.length, 8 if wr.value is not None else 0), "RC"),
             payload=None if wr.buffer is None else wr.buffer.payload,
+            flow=wr.flow,
         )
         packet = yield self.ctx.fabric.route(packet)
         remote = self.ctx.peer_context(peer.node_id)
@@ -382,7 +420,7 @@ class QueuePair:
         ack = Packet(
             src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
-            length=0, wire_bytes=config.rc_ack_bytes,
+            length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
         )
         yield self.ctx.fabric.route(ack)
         self._complete_send(wr, wr.length)
@@ -399,14 +437,14 @@ class QueuePair:
         dest = wr.dest
         assert dest is not None  # post_send validated the destination
         t0 = self.ctx.sim.now
-        yield self.ctx.nic.process_wr(self.qpn)
+        yield self.ctx.nic.process_wr(self.qpn, flow=wr.flow)
         packet = Packet(
             src_node=self.ctx.node_id, dst_node=max(dest.node_id, 0),
             src_qpn=self.qpn, dst_qpn=dest.qpn, kind="SEND",
             length=wr.length,
             wire_bytes=config.wire_bytes(wr.length, "UD"),
             payload=None if wr.buffer is None else wr.buffer.payload,
-            meta={"imm": wr.imm},
+            meta={"imm": wr.imm}, flow=wr.flow,
         )
         egress_done = Event(self.ctx.sim)
         if dest.node_id == MCAST_NODE:
@@ -449,7 +487,7 @@ class QueuePair:
         t0 = sim.now
 
         def start() -> None:
-            ctx.nic.submit_wr(self.qpn, after_wr)
+            ctx.nic.submit_wr(self.qpn, after_wr, flow=wr.flow)
 
         def after_wr() -> None:
             packet = Packet(
@@ -458,7 +496,7 @@ class QueuePair:
                 length=wr.length,
                 wire_bytes=config.wire_bytes(wr.length, "UD"),
                 payload=None if wr.buffer is None else wr.buffer.payload,
-                meta={"imm": wr.imm},
+                meta={"imm": wr.imm}, flow=wr.flow,
             )
             egress_done = Event(sim)
             if dest.node_id == MCAST_NODE:

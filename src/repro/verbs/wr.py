@@ -39,6 +39,9 @@ class SendWR:
     #: small payloads may be inlined into the WQE, saving a DMA fetch —
     #: the paper uses this for credit writes (§4.4.1, [16]).
     inline: bool = False
+    #: causal flow id stamped by QueuePair.post_send when link recording
+    #: is on (repro.telemetry.links); 0 otherwise.
+    flow: int = 0
 
     def __post_init__(self):
         if self.opcode is Opcode.RECV:

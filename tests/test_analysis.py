@@ -189,6 +189,49 @@ class TestVS106TopologyBypass:
         assert lint_source("bench/evil.py", source) == []
 
 
+class TestVS107TimestamplessTracerEvents:
+    """Instrumentation sites must pass explicit simulated-ns timestamps;
+    the ts_ns default stamps the event at emission time, which skews the
+    causal record the critical-path analyzer consumes."""
+
+    BAD = (
+        "def poll(self):\n"
+        "    self.ctx.tracer.instant(0, 'qp', 'wakeup')\n"
+        "    tracer.begin(0, 'qp', 'drain', cat='cq')\n"
+    )
+
+    def test_timestampless_events_flagged(self):
+        violations = lint_source("verbs/evil.py", self.BAD)
+        assert rules_of(violations) == ["VS107", "VS107"]
+        assert "ts_ns" in violations[0].message
+
+    def test_explicit_timestamp_is_clean(self):
+        source = (
+            "def poll(self, t0):\n"
+            "    self.ctx.tracer.instant(0, 'qp', 'wakeup', t0)\n"
+            "    tracer.end(0, 'qp', 'drain', ts_ns=t0)\n"
+        )
+        assert lint_source("verbs/evil.py", source) == []
+
+    def test_complete_and_span_are_clean(self):
+        # complete()/span() carry explicit start times by construction.
+        source = (
+            "def poll(self, t0):\n"
+            "    self.ctx.tracer.complete(0, 'qp', 'stall', t0, 10)\n"
+            "    tracer.span(0, 'qp', 'stall', t0, t0 + 10)\n"
+        )
+        assert lint_source("verbs/evil.py", source) == []
+
+    def test_metrics_counter_instrument_is_clean(self):
+        # registry.counter(name) is a metrics instrument, not an event.
+        source = "def wire(registry):\n    registry.counter('nic.tx')\n"
+        assert lint_source("fabric/evil.py", source) == []
+
+    def test_outside_sim_ordered_code_is_exempt(self):
+        assert lint_source("analysis/sanitizer.py", self.BAD) == []
+        assert lint_source("bench/evil.py", self.BAD) == []
+
+
 class TestLintMachinery:
     def test_syntax_error_becomes_vs000(self):
         violations = lint_source("core/broken.py", "def f(:\n")

@@ -8,6 +8,8 @@ dict iteration order — this suite catches that class of regression for
 all five endpoint kinds.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -29,12 +31,14 @@ DTYPE = np.dtype([("a", np.int64), ("b", np.int64)])
 DESIGN_NAMES = ["MEMQ/SR", "MESQ/SR", "MEMQ/RD", "MEMQ/WR", "MESQ/SR+MC"]
 
 
-def run_once(design, nodes=2, threads=2, rows_per_node=1500):
+def run_once(design, nodes=2, threads=2, rows_per_node=1500, report=False):
     """One complete small shuffle; returns (metrics snapshot, span count,
-    simulated end time)."""
+    simulated end time[, report JSON])."""
     cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
                                     threads_per_node=threads))
     tracer = cluster.enable_tracing()
+    if report:
+        cluster.enable_reporting()
     groups = TransmissionGroups.repartition(nodes)
     cfg = EndpointConfig(message_size=4096)
     stage = ShuffleStage(cluster.fabric, design, groups, config=cfg,
@@ -59,6 +63,10 @@ def run_once(design, nodes=2, threads=2, rows_per_node=1500):
     cluster.run()  # drain trailing completions
     got = sum(len(s.result()) for s in sinks if s.result() is not None)
     assert got == nodes * rows_per_node
+    if report:
+        report_json = json.dumps(cluster.run_report(), sort_keys=True)
+        return (cluster.metrics_snapshot(), len(tracer.events),
+                cluster.sim.now, report_json)
     return cluster.metrics_snapshot(), len(tracer.events), cluster.sim.now
 
 
@@ -69,3 +77,14 @@ def test_identical_runs_produce_identical_telemetry(design):
     assert first[2] == second[2], "simulated end times diverge"
     assert first[1] == second[1], "trace span counts diverge"
     assert first[0] == second[0], "metrics snapshots diverge"
+
+
+@pytest.mark.parametrize("design", DESIGN_NAMES)
+def test_identical_runs_produce_byte_identical_reports(design):
+    """RunReports contain only simulated-time quantities, so two identical
+    runs must serialize to the exact same bytes (the property the
+    ``repro.obs diff`` gate and committed CI baselines rely on)."""
+    first = run_once(design, report=True)
+    second = run_once(design, report=True)
+    assert first[2] == second[2], "simulated end times diverge"
+    assert first[3] == second[3], "run reports diverge"

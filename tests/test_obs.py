@@ -1,0 +1,443 @@
+"""Critical-path analyzer, RunReports and the run-diff gate (repro.obs).
+
+Three layers of coverage:
+
+* the attribution sweep — exact conservation over every design family
+  (fig8 / fig11 / table1 workloads at scale 0.1), plus the three
+  validation mechanisms the analyzer must reproduce: QP-cache thrashing
+  dominates fig11's MQ degradation, trunk queueing dominates 4:1
+  oversubscription, and the fig8 low-credit regime grows credit-stall
+  time;
+* the recording substrate — enabling it must not move simulated time by
+  a single nanosecond, and a dry budget degrades gracefully;
+* the tooling — percentile helpers, report documents, markdown
+  rendering, and the ``python -m repro.obs diff`` regression gate.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR, FDR, EndpointConfig
+from repro.bench.experiments import _run
+from repro.bench.workloads import run_repartition
+from repro.fabric.config import parse_topology
+from repro.obs import (
+    CATEGORIES,
+    REPORT_SCHEMA,
+    aggregate_reports,
+    attribute,
+    build_document,
+    critical_path,
+    render_markdown,
+)
+from repro.obs.diff import diff, main as diff_main
+from repro.obs.__main__ import main as obs_main
+from repro.telemetry import FlowRecorder, TraceBudget, latency_summary, percentile
+from repro.telemetry.session import session
+
+
+def shuffle_attribution(cluster, result):
+    """Attribution over the shuffle window [t1 - elapsed, t1]."""
+    t1 = cluster.sim.now
+    return attribute(cluster.telemetry.links, t1 - result.elapsed_ns, t1)
+
+
+def assert_conserved(attribution):
+    assert attribution["conserved"]
+    assert (sum(attribution["categories"].values())
+            == attribution["total_ns"]
+            == attribution["t1"] - attribution["t0"])
+
+
+# -- percentile helpers (repro.telemetry.metrics) --------------------------
+
+
+class TestPercentileHelpers:
+    def test_exact_percentile_interpolates(self):
+        values = [10, 20, 30, 40]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 40
+        assert percentile(values, 0.5) == 25.0
+        assert percentile([7], 0.99) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1, 2], 1.5)
+
+    def test_percentile_order_independent(self):
+        assert percentile([3, 1, 2], 0.5) == percentile([1, 2, 3], 0.5)
+
+    def test_latency_summary_small_population_is_exact(self):
+        values = list(range(1, 101))
+        summary = latency_summary(values)
+        assert summary["count"] == 100
+        assert summary["min"] == 1 and summary["max"] == 100
+        assert summary["p50"] == percentile(values, 0.5)
+        assert summary["p99"] == percentile(values, 0.99)
+
+    def test_latency_summary_large_population_interpolates(self):
+        values = list(range(200))
+        exact = latency_summary(values)
+        bucketed = latency_summary(values, exact_max=50,
+                                   buckets=(50, 100, 150, 200))
+        assert bucketed["count"] == exact["count"]
+        # Interpolation error is bounded by one bucket width.
+        for key in ("p50", "p90", "p99"):
+            assert abs(bucketed[key] - exact[key]) <= 50
+
+    def test_latency_summary_empty(self):
+        assert latency_summary([]) == {"count": 0}
+
+
+# -- attribution: conservation across all design families ------------------
+
+
+TABLE1_DESIGNS = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR",
+                  "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
+
+
+class TestConservation:
+    @pytest.mark.parametrize("design", TABLE1_DESIGNS)
+    def test_table1_designs_conserve_at_scale_01(self, design):
+        with session(report=True):
+            cluster, result = _run(EDR, design, 4, "repartition", 0.1)
+        assert_conserved(shuffle_attribution(cluster, result))
+
+    def test_fig8_config_conserves_at_scale_01(self):
+        cfg = EndpointConfig(buffers_per_connection=16, credit_frequency=16,
+                             ud_window_factor=1)
+        with session(report=True):
+            cluster, result = _run(EDR, "MESQ/SR", 8, "repartition", 0.1,
+                                   config=cfg)
+        assert_conserved(shuffle_attribution(cluster, result))
+
+    def test_fig11_config_conserves_at_scale_01(self):
+        with session(report=True):
+            cluster, result = _run(FDR, "MEMQ/SR", 8, "repartition", 0.1,
+                                   num_endpoints=4)
+        assert_conserved(shuffle_attribution(cluster, result))
+
+    def test_full_window_conserves_including_setup(self):
+        with session(report=True):
+            cluster, result = _run(EDR, "MESQ/SR", 4, "repartition", 0.1)
+        full = attribute(cluster.telemetry.links, 0, cluster.sim.now)
+        assert_conserved(full)
+        # The window before the first WR post is setup time.
+        assert full["categories"]["setup"] > 0
+
+    def test_empty_recorder_attributes_everything(self):
+        class _Sim:
+            now = 0
+
+        attribution = attribute(FlowRecorder(_Sim()), 0, 1000)
+        assert_conserved(attribution)
+        assert attribution["total_ns"] == 1000
+
+
+# -- attribution: the three validation mechanisms --------------------------
+
+
+class TestValidationMechanisms:
+    def test_fig11_mq_thrash_is_qp_cache_miss_dominated(self):
+        """fig11's MQ degradation on FDR: 16 nodes x 8 endpoints create
+        enough QP state to thrash the 144-entry FDR context cache; the
+        analyzer must attribute the slowdown to qp_cache_miss."""
+        with session(report=True):
+            cluster, result = _run(FDR, "MEMQ/SR", 16, "repartition", 0.05,
+                                   num_endpoints=8)
+        attribution = shuffle_attribution(cluster, result)
+        assert_conserved(attribution)
+        assert attribution["top"] == "qp_cache_miss"
+        assert attribution["shares"]["qp_cache_miss"] > 0.5
+
+    def test_oversubscribed_trunks_are_trunk_queueing_dominated(self):
+        """abl-oversub at 4:1: the shared leaf-spine trunks serialize the
+        cross-leaf traffic; trunk_queueing must dominate, and its share
+        must exceed the balanced 1:1 fabric's."""
+        shares = {}
+        for factor in (1, 4):
+            spec = parse_topology(f"leaf-spine:{factor}:4")
+            with session(report=True):
+                cluster = Cluster(ClusterConfig(network=EDR, num_nodes=8,
+                                                topology=spec))
+                result = run_repartition(cluster, "MESQ/SR",
+                                         bytes_per_node=2 << 20)
+            attribution = shuffle_attribution(cluster, result)
+            assert_conserved(attribution)
+            shares[factor] = attribution["shares"]["trunk_queueing"]
+            if factor == 4:
+                assert attribution["top"] == "trunk_queueing"
+        assert shares[4] > shares[1]
+
+    @staticmethod
+    def _credit_run(freq, compute_ns=0.0):
+        cfg = EndpointConfig(buffers_per_connection=4, credit_frequency=freq,
+                             ud_window_factor=1)
+        with session(report=True):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                            threads_per_node=2))
+            result = run_repartition(cluster, "MESQ/SR",
+                                     bytes_per_node=8 << 20, config=cfg,
+                                     compute_ns_per_batch=compute_ns)
+        return shuffle_attribution(cluster, result)
+
+    def test_fig8_low_credit_regime_grows_credit_stall(self):
+        """fig8's flow-control effect: returning credit only every 4th
+        Receive (with a 4-buffer window) forces the sender to wait a full
+        credit round-trip per burst."""
+        eager = self._credit_run(freq=1)
+        lazy = self._credit_run(freq=4)
+        assert_conserved(eager)
+        assert_conserved(lazy)
+        assert (lazy["categories"]["credit_stall"]
+                > 10 * max(1, eager["categories"]["credit_stall"]))
+
+    def test_starved_sender_is_credit_stall_dominated(self):
+        attribution = self._credit_run(freq=4, compute_ns=20_000)
+        assert_conserved(attribution)
+        assert attribution["top"] == "credit_stall"
+
+
+# -- recording substrate ---------------------------------------------------
+
+
+class TestRecordingIsInvisible:
+    @pytest.mark.parametrize("design", ["MESQ/SR", "MEMQ/RD", "MEMQ/WR"])
+    def test_link_recording_does_not_move_simulated_time(self, design):
+        def run(report):
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+            if report:
+                cluster.enable_reporting()
+            result = run_repartition(cluster, design,
+                                     bytes_per_node=2 << 20)
+            return (cluster.sim.now, result.elapsed_ns,
+                    result.total_received_bytes,
+                    cluster.sim.events_dispatched)
+
+        assert run(False) == run(True)
+
+    def test_budget_exhaustion_degrades_gracefully(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+        links = cluster.enable_reporting(budget=TraceBudget(200))
+        result = run_repartition(cluster, "MESQ/SR", bytes_per_node=2 << 20)
+        assert links.truncated
+        assert links.dropped_records > 0
+        assert links.recorded <= 200
+        # The attribution explains less, but still conserves exactly,
+        # and the report still builds and serializes.
+        assert_conserved(shuffle_attribution(cluster, result))
+        report = cluster.run_report()
+        assert report["records"]["truncated"]
+        json.dumps(report)
+
+    def test_flow_dag_reaches_back_through_credit_triggers(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2,
+                                        threads_per_node=2))
+        cluster.enable_reporting()
+        cfg = EndpointConfig(buffers_per_connection=4, credit_frequency=4,
+                             ud_window_factor=1)
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=8 << 20,
+                        config=cfg)
+        links = cluster.telemetry.links
+        kinds = {f.kind for f in links.flows.values()}
+        assert "data" in kinds and "credit" in kinds
+        # Credit flows carry a trigger edge back to the data flow whose
+        # buffer release produced them.
+        triggered = [f for f in links.flows.values()
+                     if f.kind == "credit" and f.trigger]
+        assert triggered
+        for flow in triggered:
+            assert links.flows[flow.trigger].kind == "data"
+
+    def test_critical_path_ends_at_last_delivery(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+        cluster.enable_reporting()
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=2 << 20)
+        links = cluster.telemetry.links
+        chain = critical_path(links)
+        assert chain
+        last_delivery = max(f.delivered_ns for f in links.flows.values()
+                            if f.delivered_ns is not None)
+        assert chain[-1]["delivered_ns"] == last_delivery
+        # Oldest-first: post times never move backwards along the chain.
+        posts = [link["posted_ns"] for link in chain]
+        assert posts == sorted(posts)
+
+
+# -- reports ---------------------------------------------------------------
+
+
+class TestRunReports:
+    @pytest.fixture(scope="class")
+    def report_and_cluster(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=4))
+        cluster.enable_reporting()
+        run_repartition(cluster, "MESQ/SR", bytes_per_node=2 << 20)
+        return cluster.run_report(), cluster
+
+    def test_report_has_latency_percentiles(self, report_and_cluster):
+        report, _ = report_and_cluster
+        latency = report["latency_ns"]
+        assert latency["count"] > 0
+        assert latency["min"] <= latency["p50"] <= latency["p90"] \
+            <= latency["p99"] <= latency["max"]
+
+    def test_report_is_json_serializable(self, report_and_cluster):
+        report, _ = report_and_cluster
+        json.dumps(report)
+
+    def test_report_requires_link_recording(self):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+        with pytest.raises(ValueError, match="enable_reporting"):
+            cluster.run_report()
+
+    def test_session_document_carries_schema_and_aggregate(self):
+        with session(report=True) as sess:
+            cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+            run_repartition(cluster, "MESQ/SR", bytes_per_node=2 << 20)
+            sess.checkpoint("smoke")
+            document = sess.report_document()
+        assert document["schema"] == REPORT_SCHEMA
+        (entry,) = document["experiments"]
+        assert entry["name"] == "smoke"
+        assert entry["aggregate"]["runs"] == 1
+        assert entry["aggregate"]["attribution"]["conserved"]
+
+    def test_aggregate_sums_categories_and_weights_percentiles(self):
+        run_a = {
+            "attribution": {"total_ns": 100,
+                            "categories": {c: 0 for c in CATEGORIES},
+                            "conserved": True},
+            "latency_ns": {"count": 1, "mean": 10.0, "p50": 10.0,
+                           "p90": 10.0, "p99": 10.0},
+            "sanitizer": {"violations": 0},
+            "records": {"truncated": False},
+        }
+        run_a["attribution"]["categories"]["wire_serialization"] = 100
+        run_b = copy.deepcopy(run_a)
+        run_b["latency_ns"] = {"count": 3, "mean": 30.0, "p50": 30.0,
+                               "p90": 30.0, "p99": 30.0}
+        agg = aggregate_reports([run_a, run_b])
+        assert agg["attribution"]["total_ns"] == 200
+        assert agg["attribution"]["top"] == "wire_serialization"
+        assert agg["latency_ns"]["count"] == 4
+        assert agg["latency_ns"]["p99"] == pytest.approx(25.0)
+
+    def test_markdown_rendering(self, report_and_cluster):
+        report, _ = report_and_cluster
+        document = build_document([{
+            "name": "fig8", "runs": [report],
+            "aggregate": aggregate_reports([report]),
+        }])
+        text = render_markdown(document)
+        assert "## fig8" in text
+        assert "| category |" in text
+        assert "Message latency" in text
+
+
+# -- the diff gate ---------------------------------------------------------
+
+
+def _document(p99=1000.0, wire=0.8, credit=0.1):
+    categories = {c: 0 for c in CATEGORIES}
+    categories["wire_serialization"] = int(wire * 1000)
+    categories["credit_stall"] = int(credit * 1000)
+    categories["sender_compute"] = 1000 - sum(categories.values())
+    shares = {c: ns / 1000 for c, ns in categories.items()}
+    return {
+        "schema": dict(REPORT_SCHEMA),
+        "experiments": [{
+            "name": "fig8",
+            "runs": [],
+            "aggregate": {
+                "runs": 1,
+                "attribution": {"total_ns": 1000, "categories": categories,
+                                "shares": shares,
+                                "top": "wire_serialization",
+                                "conserved": True},
+                "latency_ns": {"count": 10, "mean": p99 / 2,
+                               "p50": p99 / 2, "p90": p99 * 0.9,
+                               "p99": p99},
+            },
+        }],
+    }
+
+
+class TestDiffGate:
+    def test_identical_reports_pass(self):
+        assert diff(_document(), _document()) == []
+
+    def test_percentile_regression_fails(self):
+        failures = diff(_document(p99=1000.0), _document(p99=1400.0))
+        assert any("p99 rose" in f for f in failures)
+
+    def test_attribution_shift_fails(self):
+        failures = diff(_document(wire=0.8, credit=0.1),
+                        _document(wire=0.6, credit=0.3))
+        assert any("credit_stall share shifted" in f for f in failures)
+
+    def test_schema_mismatch_fails(self):
+        bad = _document()
+        bad["schema"]["version"] = 99
+        assert diff(_document(), bad)
+
+    def test_threshold_is_respected(self):
+        failures = diff(_document(p99=1000.0), _document(p99=1100.0))
+        assert failures == []  # 10% < 25% default gate
+
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_cli_exits_nonzero_on_injected_regression(self, tmp_path,
+                                                      capsys):
+        base = self.write(tmp_path, "base.json", _document(p99=1000.0))
+        regressed = self.write(tmp_path, "fresh.json",
+                               _document(p99=2000.0))
+        assert diff_main([base, regressed]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_cli_passes_identical_reports(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", _document())
+        fresh = self.write(tmp_path, "fresh.json", _document())
+        assert diff_main([base, fresh]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_cli_warn_only_downgrades_to_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", _document(p99=1000.0))
+        regressed = self.write(tmp_path, "fresh.json",
+                               _document(p99=2000.0))
+        assert diff_main([base, regressed, "--warn-only"]) == 0
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_module_entry_point_dispatches_diff(self, tmp_path):
+        base = self.write(tmp_path, "base.json", _document())
+        fresh = self.write(tmp_path, "fresh.json", _document())
+        assert obs_main(["diff", base, fresh]) == 0
+
+    def test_module_entry_point_renders_markdown(self, tmp_path, capsys):
+        report = self.write(tmp_path, "report.json", _document())
+        assert obs_main(["render", report]) == 0
+        assert "## fig8" in capsys.readouterr().out
+
+
+# -- repro-bench integration -----------------------------------------------
+
+
+class TestBenchReportFlag:
+    def test_cli_writes_report_document(self, tmp_path, capsys):
+        from repro.bench.cli import main as cli_main
+        out = tmp_path / "report.json"
+        rc = cli_main(["fig12", "--report", str(out)])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["experiments"][0]["name"] == "fig12"
+        for entry in document["experiments"]:
+            for run in entry["runs"]:
+                assert run["attribution"]["conserved"]
