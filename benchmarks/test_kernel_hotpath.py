@@ -15,6 +15,7 @@ from repro.bench.kernel import (
     bench_fabric_packets,
     bench_fig8_wall_clock,
     bench_process_wakeups,
+    bench_train_events,
 )
 
 
@@ -37,6 +38,20 @@ def test_fabric_packets_per_sec(benchmark):
     assert result["detail"]["packets"] == 15_000
     assert result["value"] > 0
     print(f"\nfabric routing: {result['value']:,.0f} packets/s")
+
+
+def test_train_event_reduction(benchmark):
+    """The headline of the train abstraction: a 1 MiB RC message (a
+    256-packet train at the 4 KiB MTU) must cost >= 20x fewer fabric
+    events than the per-packet oracle charges for it."""
+    result = run_once(benchmark, bench_train_events, num_messages=500)
+    detail = result["detail"]
+    assert detail["n_packets"] == 256
+    assert detail["event_reduction"] >= 20.0, \
+        f"train path saves only {detail['event_reduction']}x events"
+    assert result["value"] > 0
+    print(f"\ntrain path: {result['value']:,.0f} events/s, "
+          f"{detail['event_reduction']:.1f}x fewer events than per-packet")
 
 
 def test_fig8_wall_clock(benchmark):

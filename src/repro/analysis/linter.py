@@ -54,6 +54,10 @@ STATIC_RULES: Dict[str, str] = {
         "tracer event emitted without a simulated-ns timestamp "
         "(pass ts_ns= or the event lands at poll time, skewing the "
         "critical-path analyzer)"),
+    "VS108": (
+        "Packet/PacketTrain constructed directly outside fabric/ "
+        "(use fabric.packet.make_train so RC messages are segmented "
+        "into MTU trains consistently)"),
 }
 
 
@@ -319,6 +323,32 @@ def _rule_vs107(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
                    f"describes (pass ts_ns= explicitly)")
 
 
+def _rule_vs108(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Direct Packet/PacketTrain construction outside fabric/ (VS108).
+
+    ``make_train`` is the one place that knows how a message's length
+    and transport turn into wire bytes and MTU-train segmentation; a
+    hand-rolled ``Packet(...)`` elsewhere silently ships a one-packet
+    train for a multi-MTU RC message, undercounting serialization
+    boundaries under ``REPRO_TRAINS=0`` and skewing packet accounting.
+    """
+    if rel.startswith("fabric/"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in ("Packet", "PacketTrain"):
+            yield (node.lineno,
+                   f"constructs {name} directly (use "
+                   f"fabric.packet.make_train for MTU-train segmentation)")
+
+
 _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS101": _rule_vs101,
     "VS102": _rule_vs102,
@@ -327,6 +357,7 @@ _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS105": _rule_vs105,
     "VS106": _rule_vs106,
     "VS107": _rule_vs107,
+    "VS108": _rule_vs108,
 }
 
 

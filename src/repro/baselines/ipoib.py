@@ -27,7 +27,7 @@ from repro.core.endpoint import (
     ReceiveEndpoint,
     SendEndpoint,
 )
-from repro.fabric.packet import Packet
+from repro.fabric.packet import Packet, make_train
 from repro.memory import Buffer, BufferPool
 from repro.sim import Notify, RatePipe
 from repro.verbs.cm import EndpointRegistry
@@ -109,8 +109,11 @@ class TcpConnection:
 
     def _transmit_segment(self, seg: int, payload: Any, meta: dict,
                           last: bool) -> None:
-        packet = Packet(
-            src_node=self.ctx.node_id, dst_node=self.dst_node,
+        # One TCP segment is one wire unit: the stack's own
+        # segmentation already runs at MTU-or-smaller granularity, so
+        # these are single-packet trains by construction.
+        packet = make_train(
+            self.net, src_node=self.ctx.node_id, dst_node=self.dst_node,
             src_qpn=0, dst_qpn=0, kind="TCP",
             length=seg, wire_bytes=seg + HEADER_BYTES,
             payload=payload if last else None,

@@ -38,7 +38,7 @@ from repro.core.endpoint import (
     ReceiveEndpoint,
     SendEndpoint,
 )
-from repro.fabric.packet import Packet
+from repro.fabric.packet import Packet, make_train
 from repro.memory import Buffer, BufferPool
 from repro.sim import Event, Mutex, Notify
 from repro.verbs.cm import EndpointRegistry
@@ -127,8 +127,8 @@ class MPIRuntime:
 
     def _transmit(self, dest: int, kind: str, length: int, payload: Any,
                   meta: dict) -> Event:
-        packet = Packet(
-            src_node=self.ctx.node_id, dst_node=dest,
+        packet = make_train(
+            self.net, src_node=self.ctx.node_id, dst_node=dest,
             src_qpn=0, dst_qpn=0, kind=kind, length=length,
             wire_bytes=self.net.wire_bytes(max(length, 16), "RC"),
             payload=payload, meta=meta,

@@ -25,7 +25,8 @@ from repro.telemetry.session import format_digest, session
 __all__ = ["main"]
 
 #: version of the ``--json`` result document layout.
-RESULTS_SCHEMA_VERSION = 3
+#: v4 records the ``--nodes`` override in the document header.
+RESULTS_SCHEMA_VERSION = 4
 
 
 def main(argv=None) -> int:
@@ -42,6 +43,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="volume/scale-factor multiplier (default 1.0; "
                              "use 0.25 for a quick pass)")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="override the cluster size: fixed-size "
+                             "experiments run at N nodes, node-count "
+                             "sweeps collapse to N, and fig10-scaleout "
+                             "truncates its 64..1024 sweep at N")
     parser.add_argument("--topology", metavar="SPEC", default=None,
                         help="switch topology for every simulated cluster: "
                              "single-switch (default), leaf-spine[:K[:M]] "
@@ -75,6 +81,9 @@ def main(argv=None) -> int:
                         help="scale for the fig8 wall-clock kernel "
                              "benchmark (default 0.05)")
     args = parser.parse_args(argv)
+
+    if args.nodes is not None and args.nodes < 2:
+        parser.error("--nodes must be >= 2 (shuffles need a peer)")
 
     if args.topology:
         from repro.fabric.config import parse_topology, set_default_topology
@@ -118,7 +127,8 @@ def _run(args, parser) -> int:
                  report=args.report is not None) as sess:
         for name in names:
             start = time.time()
-            results = ALL_EXPERIMENTS[name](scale=args.scale)
+            results = ALL_EXPERIMENTS[name](scale=args.scale,
+                                            nodes=args.nodes)
             digest = sess.checkpoint(name)
             if digest["runs"]:
                 line = format_digest(digest)
@@ -141,6 +151,7 @@ def _run(args, parser) -> int:
                 "schema": {"name": "repro-bench-results",
                            "version": RESULTS_SCHEMA_VERSION},
                 "scale": args.scale,
+                "nodes": args.nodes,
                 "topology": args.topology or "single-switch",
                 "experiments": experiments_out,
             }

@@ -18,7 +18,7 @@ import json
 import sys
 from typing import Any, Dict, List
 
-__all__ = ["compare", "main"]
+__all__ = ["compare", "breached", "main"]
 
 #: default tolerated relative regression before the gate fails.
 DEFAULT_THRESHOLD = 0.25
@@ -58,6 +58,16 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
     return failures
 
 
+def breached(failures: List[str]) -> List[str]:
+    """The benchmark names that breached the gate, in report order.
+
+    Every failure string starts with ``<name>:`` — this extracts the
+    names so callers (and the CLI's exit summary) can say *which*
+    benchmark failed instead of only that one did.
+    """
+    return [failure.split(":", 1)[0] for failure in failures]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.compare",
@@ -79,7 +89,7 @@ def main(argv=None) -> int:
 
     for name, bench in fresh.get("benchmarks", {}).items():
         base = baseline.get("benchmarks", {}).get(name)
-        base_txt = _fmt(float(base["value"])) if base else "n/a"
+        base_txt = _fmt(float(base["value"])) if base else "n/a (new)"
         print(f"{name}: {_fmt(float(bench['value']))} "
               f"{bench.get('unit', '')} (baseline {base_txt})")
 
@@ -88,6 +98,9 @@ def main(argv=None) -> int:
         print()
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
+        names = ", ".join(breached(failures))
+        print(f"\nperf gate FAILED (threshold {args.threshold:.0%}): "
+              f"breached by {names}", file=sys.stderr)
         return 1
     print(f"\nperf gate passed (threshold {args.threshold:.0%})")
     return 0

@@ -13,6 +13,8 @@ proportionally; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.qperf import run_qperf
@@ -34,7 +36,7 @@ from repro.telemetry import nic_cache_stats
 from repro.tpch import generate, run_query
 
 __all__ = [
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig8", "fig9", "fig10", "fig10_scaleout", "fig11", "fig12", "fig13",
     "fig14a", "fig14_scaling", "table1", "abl_oversub",
     "ALL_EXPERIMENTS",
 ]
@@ -194,6 +196,137 @@ def fig10(networks: Sequence[NetworkConfig] = (FDR, EDR),
                 series=series,
             ))
     return results
+
+
+# -- Mesoscale scale-out: 64..1024 nodes on leaf-spine --------------------------------
+
+
+#: default node counts for the mesoscale sweep.
+SCALEOUT_COUNTS = (64, 128, 256, 512, 1024)
+
+#: largest cluster the MQ design runs at — n QPs per node means n^2
+#: connections cluster-wide, so the sweep caps it and reports "-" above.
+SCALEOUT_MQ_CAP = 256
+
+
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic collector for one mesoscale run.
+
+    A 1024-node cluster holds millions of live objects (connections,
+    buffer pools, address handles); full collections traverse all of
+    them and come to dominate wall-clock (~2x at 256 nodes, worse
+    beyond).  Reference counting still reclaims the simulator's acyclic
+    churn; one collection after the run picks up the cycles.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
+
+
+def _scaleout_volume(nodes: int, scale: float) -> int:
+    """Per-node transfer volume for the mesoscale sweep.
+
+    Decays as n^-2 so per-link work stays roughly constant across the
+    sweep: every source batch emits one message per destination, so
+    cluster-wide messages grow as nodes^2 x batches and a flat per-node
+    volume would explode the 1024-node run.  Floored at one template
+    batch (256 KiB) so every destination still receives data.
+    """
+    return max(256 << 10, int(32 * MIB * scale * (64.0 / nodes) ** 2))
+
+
+def _scaleout_point(network: NetworkConfig, design: str, n: int,
+                    scale: float, nodes_per_leaf: int,
+                    oversubscription: int, want_trunk_note: bool):
+    """Run one (design, node count) point; the cluster dies on return.
+
+    Keeping the cluster's lifetime inside this frame is what makes the
+    caller's post-point ``gc.collect()`` cheap: reference counting frees
+    the acyclic bulk as the frame unwinds.
+    """
+    topology = LEAF_SPINE(oversubscription=oversubscription,
+                          nodes_per_leaf=nodes_per_leaf)
+    cluster = Cluster(ClusterConfig(network=network, num_nodes=n,
+                                    threads_per_node=1, topology=topology))
+    # ud_window_factor=1: at mesoscale fan-out each link carries ~1
+    # message per batch, so the deep UD byte window of §5.1.1 buys
+    # nothing and costs O(n^2) receive buffers cluster-wide.
+    cfg = EndpointConfig(
+        message_size=4096 if design.startswith("MESQ") else 65536,
+        buffers_per_connection=2, credit_frequency=2, ud_window_factor=1)
+    result = run_repartition(cluster, design,
+                             bytes_per_node=_scaleout_volume(n, scale),
+                             config=cfg)
+    note = None
+    if want_trunk_note:
+        elapsed = max(1, result.elapsed_ns)
+        peak = max((p.pipe.busy_ns / elapsed
+                    for p in cluster.fabric.topology.ports()), default=0.0)
+        note = f"n={n} peak trunk util {100.0 * min(1.0, peak):.0f}%"
+    y = result.receive_throughput_gib_per_node()
+    cluster.dispose()
+    return y, note
+
+
+def fig10_scaleout(network: NetworkConfig = EDR,
+                   node_counts: Sequence[int] = SCALEOUT_COUNTS,
+                   scale: float = 1.0,
+                   nodes_per_leaf: int = 32,
+                   oversubscription: int = 2,
+                   designs: Sequence[str] = ("MESQ/SR", "MEMQ/SR"),
+                   mq_cap: int = SCALEOUT_MQ_CAP) -> ExperimentResult:
+    """Repartition throughput from 64 to 1024 nodes on a leaf-spine fabric.
+
+    The paper stops at 16 nodes on one switch (Fig 10); this extrapolation
+    asks how the two surviving designs behave at mesoscale on a 2:1
+    oversubscribed leaf-spine fabric (32 nodes per leaf).  It is the
+    flow-level packet-train abstraction that makes the sweep tractable:
+    every multi-MTU message crosses each pipe as a single event, so event
+    counts scale with messages rather than packets (`REPRO_TRAINS=0`
+    re-runs it per-packet for auditing, at ~the MTU-count multiple of the
+    cost).
+
+    One thread per node and double buffering keep per-node state minimal;
+    the MQ design stops at ``mq_cap`` nodes (n^2 connections cluster-wide)
+    while the SQ design runs the full sweep — the paper's §5.1.4 argument
+    about QP-context thrash, restated as a scale-out feasibility boundary.
+    """
+    series = []
+    trunk_notes = []
+    for design in designs:
+        ys = []
+        for n in node_counts:
+            if "MQ/" in design and n > mq_cap:
+                ys.append(None)  # rendered as "-": beyond the MQ cap
+                continue
+            with _gc_paused():
+                # The point runs in a helper so the cluster is already
+                # dead when _gc_paused collects on exit: the collector
+                # then traverses surviving cycles, not a ~10 GB live
+                # heap (tens of seconds at 1024 nodes).
+                y, note = _scaleout_point(
+                    network, design, n, scale, nodes_per_leaf,
+                    oversubscription, want_trunk_note=design == designs[0])
+            ys.append(y)
+            if note is not None:
+                trunk_notes.append(note)
+        series.append(Series(design, ys))
+    return ExperimentResult(
+        experiment=f"fig10-scaleout-{network.name}",
+        title=f"Mesoscale repartition scale-out ({network.name}, "
+              f"leaf-spine {oversubscription}:1, {nodes_per_leaf}/leaf)",
+        x_label="nodes", x=list(node_counts),
+        y_label="receive throughput per node (GiB/s)", series=series,
+        notes=f"1 thread/node, double buffering; MQ capped at {mq_cap} "
+              f"nodes; {designs[0]}: " + ", ".join(trunk_notes),
+    )
 
 
 # -- Figure 11: number of Queue Pairs --------------------------------------------------
@@ -471,21 +604,57 @@ def table1(nodes: int = 16, threads: int = 8) -> ExperimentResult:
     )
 
 
-#: experiment registry for the CLI.
+def _n(nodes: Optional[int], default: int) -> int:
+    """The ``--nodes`` override for fixed-size experiments."""
+    return default if nodes is None else nodes
+
+
+def _counts(nodes: Optional[int],
+            default: Sequence[int]) -> Sequence[int]:
+    """The ``--nodes`` override for node-count sweeps: collapse the sweep
+    to the one requested size."""
+    return default if nodes is None else (nodes,)
+
+
+def _scaleout_counts(nodes: Optional[int]) -> Sequence[int]:
+    """``--nodes N`` truncates the mesoscale sweep at N (the CI smoke job
+    runs ``fig10-scaleout --nodes 128``); an off-grid N runs alone."""
+    if nodes is None:
+        return SCALEOUT_COUNTS
+    kept = tuple(c for c in SCALEOUT_COUNTS if c <= nodes)
+    return kept if kept and kept[-1] == nodes else (nodes,)
+
+
+#: experiment registry for the CLI.  Every entry takes ``scale`` and the
+#: ``--nodes`` override (``None`` = each experiment's paper default).
 ALL_EXPERIMENTS = {
-    "fig8": lambda scale=1.0: [fig8(EDR, scale=scale), fig8(FDR, scale=scale)],
-    "fig9": lambda scale=1.0: list(fig9(scale=scale)),
-    "fig10": lambda scale=1.0: fig10(scale=scale),
-    "fig11": lambda scale=1.0: [fig11(scale=scale)],
-    "fig12": lambda scale=1.0: [fig12()],
-    "fig13": lambda scale=1.0: [fig13(scale=scale)],
-    "fig14a": lambda scale=1.0: [fig14a(scale_factor=0.06 * scale)],
-    "fig14b": lambda scale=1.0: [fig14_scaling(
-        "Q4", scale_factor_per_node=0.0075 * scale)],
-    "fig14c": lambda scale=1.0: [fig14_scaling(
-        "Q3", scale_factor_per_node=0.0075 * scale)],
-    "fig14d": lambda scale=1.0: [fig14_scaling(
-        "Q10", scale_factor_per_node=0.0075 * scale)],
-    "table1": lambda scale=1.0: [table1()],
-    "abl-oversub": lambda scale=1.0: [abl_oversub(scale=scale)],
+    "fig8": lambda scale=1.0, nodes=None: [
+        fig8(EDR, nodes=_n(nodes, 8), scale=scale),
+        fig8(FDR, nodes=_n(nodes, 8), scale=scale)],
+    "fig9": lambda scale=1.0, nodes=None: list(
+        fig9(nodes=_n(nodes, 8), scale=scale)),
+    "fig10": lambda scale=1.0, nodes=None: fig10(
+        node_counts=_counts(nodes, (2, 4, 8, 16)), scale=scale),
+    "fig10-scaleout": lambda scale=1.0, nodes=None: [fig10_scaleout(
+        node_counts=_scaleout_counts(nodes), scale=scale)],
+    "fig11": lambda scale=1.0, nodes=None: [
+        fig11(nodes=_n(nodes, 16), scale=scale)],
+    "fig12": lambda scale=1.0, nodes=None: [fig12(
+        node_counts=_counts(nodes, (2, 4, 6, 8, 10, 12, 14, 16)))],
+    "fig13": lambda scale=1.0, nodes=None: [
+        fig13(nodes=_n(nodes, 8), scale=scale)],
+    "fig14a": lambda scale=1.0, nodes=None: [fig14a(
+        scale_factor=0.06 * scale, nodes=_n(nodes, 8))],
+    "fig14b": lambda scale=1.0, nodes=None: [fig14_scaling(
+        "Q4", scale_factor_per_node=0.0075 * scale,
+        node_counts=_counts(nodes, (2, 4, 8, 16)))],
+    "fig14c": lambda scale=1.0, nodes=None: [fig14_scaling(
+        "Q3", scale_factor_per_node=0.0075 * scale,
+        node_counts=_counts(nodes, (2, 4, 8, 16)))],
+    "fig14d": lambda scale=1.0, nodes=None: [fig14_scaling(
+        "Q10", scale_factor_per_node=0.0075 * scale,
+        node_counts=_counts(nodes, (2, 4, 8, 16)))],
+    "table1": lambda scale=1.0, nodes=None: [table1(nodes=_n(nodes, 16))],
+    "abl-oversub": lambda scale=1.0, nodes=None: [abl_oversub(
+        nodes=_n(nodes, 8), scale=scale)],
 }

@@ -28,13 +28,15 @@ __all__ = [
     "bench_dispatch_events",
     "bench_process_wakeups",
     "bench_fabric_packets",
+    "bench_train_events",
     "bench_fig8_wall_clock",
     "run_all",
     "emit",
 ]
 
 #: version of the ``BENCH_kernel.json`` document layout.
-KERNEL_BENCH_SCHEMA_VERSION = 1
+#: v2 adds the gated ``fabric_train_events_per_sec`` train-path entry.
+KERNEL_BENCH_SCHEMA_VERSION = 2
 
 #: how many historical entries a trajectory file retains.
 _HISTORY_LIMIT = 50
@@ -108,15 +110,15 @@ def bench_fabric_packets(num_packets: int = 30_000) -> Dict[str, Any]:
     """
     from repro.cluster import Cluster
     from repro.fabric.config import EDR, ClusterConfig
-    from repro.fabric.packet import Packet
+    from repro.fabric.packet import make_train
 
     cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
     fabric = cluster.fabric
 
     def pump():
         for i in range(num_packets):
-            yield fabric.route(Packet(
-                src_node=0, dst_node=1, src_qpn=1, dst_qpn=2,
+            yield fabric.route(make_train(
+                EDR, src_node=0, dst_node=1, src_qpn=1, dst_qpn=2,
                 kind="SEND", length=256, wire_bytes=300))
 
     start = time.perf_counter()
@@ -129,6 +131,59 @@ def bench_fabric_packets(num_packets: int = 30_000) -> Dict[str, Any]:
         "higher_is_better": True,
         "detail": {"packets": num_packets,
                    "wall_clock_s": round(elapsed, 4)},
+    }
+
+
+def bench_train_events(num_messages: int = 2_000,
+                       message_bytes: int = 1 << 20) -> Dict[str, Any]:
+    """Train-path throughput and the train/per-packet event reduction.
+
+    Routes ``num_messages`` 1 MiB RC messages (256-packet trains at the
+    4 KiB MTU) through a two-node fabric twice: once charging each train
+    in a single event per pipe (the default), once under the per-packet
+    oracle.  The value gated by ``repro.bench.compare`` is the train
+    path's event throughput; the detail records the event-reduction
+    factor the abstraction buys (the ISSUE target is >= 20x for 1 MiB
+    messages).
+    """
+    from repro.cluster import Cluster
+    from repro.fabric.config import EDR, ClusterConfig
+    from repro.fabric.packet import make_train
+
+    def run(oracle: bool):
+        cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
+        fabric = cluster.fabric
+        fabric.use_packet_oracle(oracle)
+
+        def pump():
+            for i in range(num_messages):
+                yield fabric.route(make_train(
+                    EDR, src_node=0, dst_node=1, src_qpn=1, dst_qpn=2,
+                    kind="SEND", length=message_bytes, transport="RC"))
+
+        start = time.perf_counter()
+        cluster.run_process(pump(), name="bench-train-pump")
+        elapsed = time.perf_counter() - start
+        return cluster.sim.events_dispatched, elapsed
+
+    train_events, train_elapsed = run(oracle=False)
+    oracle_events, oracle_elapsed = run(oracle=True)
+    n_packets = max(1, -(-message_bytes // EDR.mtu))
+    return {
+        "name": "fabric_train_events_per_sec",
+        "value": train_events / train_elapsed,
+        "unit": "events/s",
+        "higher_is_better": True,
+        "detail": {
+            "messages": num_messages,
+            "message_bytes": message_bytes,
+            "n_packets": n_packets,
+            "train_events": train_events,
+            "oracle_events": oracle_events,
+            "event_reduction": round(oracle_events / train_events, 2),
+            "train_wall_clock_s": round(train_elapsed, 4),
+            "oracle_wall_clock_s": round(oracle_elapsed, 4),
+        },
     }
 
 
@@ -154,6 +209,7 @@ def run_all(fig8_scale: float = 0.05) -> Dict[str, Any]:
         bench_dispatch_events(),
         bench_process_wakeups(),
         bench_fabric_packets(),
+        bench_train_events(),
         bench_fig8_wall_clock(scale=fig8_scale),
     ]
     return {

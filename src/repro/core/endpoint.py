@@ -126,7 +126,7 @@ class EndpointConfig:
         return self.buffers_per_connection * self.threads_per_endpoint
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Endpoint-level framing carried inside every transmission buffer.
 

@@ -76,7 +76,12 @@ class SRUDSendEndpoint(CreditedSendEndpoint):
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
-        self.qp = self.ctx.create_qp(QPType.UD, self.cq, self.cq)
+        # The single shared UD queue aggregates every peer's credit-receive
+        # slots, so size it to the device limit rather than the default
+        # (8 slots x 1023 peers overflows 4096 at mesoscale).
+        self.qp = self.ctx.create_qp(
+            QPType.UD, self.cq, self.cq,
+            max_recv_wr=self.ctx.config.max_qp_depth)
         yield from setup_ud_qp(self.ctx, self.qp)
         for dest in self.destinations:
             conn = self.conns.add(dest, PeerConnection(dest))
@@ -145,7 +150,11 @@ class SRUDReceiveEndpoint(CreditedReceiveEndpoint):
 
     def setup(self, registry: EndpointRegistry):
         self.cq = self.ctx.create_cq()
-        self.qp = self.ctx.create_qp(QPType.UD, self.cq, self.cq)
+        # One shared queue holds every source's posted data buffers; use
+        # the device-limit depth so mesoscale source counts fit.
+        self.qp = self.ctx.create_qp(
+            QPType.UD, self.cq, self.cq,
+            max_recv_wr=self.ctx.config.max_qp_depth)
         yield from setup_ud_qp(self.ctx, self.qp)
         per_link = self.config.buffers_per_link
         yield from self.provision_recv_pool()

@@ -32,6 +32,7 @@ from repro.core.transport.connections import PeerConnection
 __all__ = [
     "CREDIT_MSG_BYTES",
     "CREDIT_RECV_SLOTS",
+    "CREDIT_SLOT_CAP",
     "CreditDatagramPort",
     "CreditWordBoard",
     "RingBoard",
@@ -43,6 +44,13 @@ __all__ = [
 CREDIT_MSG_BYTES = 16
 #: credit slots provisioned per peer for credit datagrams.
 CREDIT_RECV_SLOTS = 8
+#: total credit-slot cap per endpoint: the slots rotate through a shared
+#: pool, so mesoscale peer counts do not need 8x slots each — two per
+#: peer covers the worst incast burst (each peer has at most one credit
+#: plus one keepalive in flight), and credit datagrams tolerate loss by
+#: design (absolute values + keepalive), so an overflow degrades, never
+#: wedges.
+CREDIT_SLOT_CAP = 2048
 
 
 def grant_credit(conn: PeerConnection, value: int) -> None:
@@ -159,8 +167,8 @@ class CreditDatagramPort:
 
     def __init__(self, ep, peer_count: int):
         self.ep = ep
-        self.pool = BufferPool(ep.ctx, CREDIT_RECV_SLOTS * max(1, peer_count),
-                               CREDIT_MSG_BYTES)
+        slots = min(CREDIT_RECV_SLOTS * max(1, peer_count), CREDIT_SLOT_CAP)
+        self.pool = BufferPool(ep.ctx, slots, CREDIT_MSG_BYTES)
         self._cursor = 0
         ep.aux_pools.append(self.pool)
 

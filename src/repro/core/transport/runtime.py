@@ -13,6 +13,20 @@ SR/UD designs (Algorithm 1's SEND loop and the RELEASE/credit write-back
 of §4.4.1-2); subclasses supply only the posting primitives
 (:meth:`_post_data` / :meth:`_post_final` / :meth:`_repost` /
 :meth:`_return_credit`).
+
+Per-message semantics over packet trains
+----------------------------------------
+Everything at this layer observes *messages*: one credit consumed per
+send, one CQE per signaled work request, one RELEASE per delivered
+buffer.  Below the verbs API a multi-MTU RC message traverses the
+fabric as a single :class:`~repro.fabric.packet.PacketTrain` (see
+:mod:`repro.sim.trains`) — the endpoint never sees the segmentation,
+exactly as real hardware hides per-packet ACK/retransmit behind one
+work completion.  The ``trains_sent`` / ``train_packets_sent``
+counters record the equivalence (UD messages are MTU-capped, so their
+trains are always one packet); they are diagnostic attributes, kept
+off telemetry snapshots so train bookkeeping can never perturb the
+``REPRO_TRAINS`` A/B oracle.
 """
 
 from __future__ import annotations
@@ -64,6 +78,10 @@ class RuntimeSendEndpoint(SendEndpoint):
         #: buffers in flight, refcounted per destination (§5.1.3).
         self._pending = PendingTable()
         self.cq = None
+        #: messages posted and the MTU packets their trains carry
+        #: (diagnostic only — deliberately off telemetry snapshots).
+        self.trains_sent = 0
+        self.train_packets_sent = 0
 
     @property
     def send_pool_buffers(self) -> int:
@@ -128,6 +146,9 @@ class CreditedSendEndpoint(RuntimeSendEndpoint):
             )
             yield self._cpu(self.net.post_wr_ns)
             self._post_data(conn, buf, frame)
+            self.trains_sent += 1
+            self.train_packets_sent += max(
+                1, -(-buf.length // self.ctx.config.mtu))
             self.record_send(dest, buf.length)
 
     def _send_finals(self):

@@ -30,9 +30,9 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.fabric import routing
 from repro.fabric.config import ClusterConfig, NetworkConfig
 from repro.fabric.nic import NIC
-from repro.fabric.packet import Packet
+from repro.fabric.packet import Packet, clone_for_member
 from repro.fabric.topology import Hop, Topology
-from repro.sim import Event, Simulator, fastpath
+from repro.sim import Event, Simulator, fastpath, trains
 from repro.telemetry.core import Telemetry
 
 __all__ = ["Node", "Fabric"]
@@ -76,6 +76,9 @@ class Fabric:
                                  cluster.num_nodes)
         self._rng = random.Random(cluster.seed)
         self.delivered_messages = 0
+        #: MTU packets delivered (mode-invariant train accounting; the
+        #: message counter above is what telemetry snapshots report).
+        self.delivered_packets = 0
         self.dropped_messages = 0
         #: wire bytes carried per directed (src, dst) pair, including
         #: loopback traffic; feeds the link-contention telemetry.
@@ -103,6 +106,36 @@ class Fabric:
         #: heap entries at the same simulated times, same RNG draw order),
         #: so results are bit-identical; see repro.sim.fastpath.
         self.flat_routing = fastpath.enabled()
+        #: charge each message's MTU packets as one train per pipe (the
+        #: default) instead of ticking every MTU boundary; both modes
+        #: produce bit-identical end times and metrics — see
+        #: repro.sim.trains.  The live switches live on the pipes
+        #: (RatePipe.split_packets), read once at construction.
+        self.train_routing = trains.enabled()
+
+    def use_packet_oracle(self, split: bool = True) -> None:
+        """Flip every fabric pipe between train charging and the
+        per-packet oracle, for in-process A/B runs (tests, the event
+        -reduction benchmark).  Only meaningful on a quiesced fabric —
+        mid-flight trains keep the mode they were submitted under."""
+        self.train_routing = not split
+        for node in self.nodes:
+            node.nic.egress.split_packets = split
+            node.nic.ingress.split_packets = split
+        for port in self.topology.ports():
+            port.pipe.split_packets = split
+
+    def dispose(self) -> None:
+        """Release the fabric's node and context tables on teardown.
+
+        Breaks the fabric<->context hub edges so a finished cluster can
+        be reclaimed by reference counting (see :meth:`Cluster.dispose`);
+        the fabric is unusable afterwards.
+        """
+        self.verbs_contexts.clear()
+        self.mcast_members.clear()
+        self.link_bytes.clear()
+        self.nodes.clear()
 
     @property
     def num_nodes(self) -> int:
@@ -136,7 +169,7 @@ class Fabric:
         loopback = packet.src_node == packet.dst_node
         if loopback:
             unordered = lossy = False
-        hops = self.topology.route(packet.src_node, packet.dst_node).hops
+        hops = self.topology.route_hops(packet.src_node, packet.dst_node)
         done = Event(self.sim)
         if self.flat_routing:
             routing.flat_route(self, packet, hops, unordered, lossy, done,
@@ -205,12 +238,7 @@ class Fabric:
         key = (packet.src_node, node_id)
         self.link_bytes[key] = self.link_bytes.get(key, 0) + packet.wire_bytes
         leg = Event(self.sim)
-        copy = Packet(
-            src_node=packet.src_node, dst_node=node_id,
-            src_qpn=packet.src_qpn, dst_qpn=qpn, kind=packet.kind,
-            length=packet.length, wire_bytes=packet.wire_bytes,
-            payload=packet.payload, meta=packet.meta, flow=packet.flow,
-        )
+        copy = clone_for_member(packet, node_id, qpn)
         if self.flat_routing:
             routing.flat_leg(self, copy, hops, leg)
         else:

@@ -14,6 +14,14 @@ trip.  This is the documented mechanism ([8, 16, 17] in the paper) behind
 the degradation of the many-Queue-Pair designs on FDR hardware at 16 nodes
 (Figs 10 and 11), so it is modeled explicitly.
 
+Trains: the tx/rx entry points take the message's MTU packet count and
+charge their pipes per *train* (one event per message, see
+:mod:`repro.sim.trains`).  The QP-context cache and the PCIe miss
+penalty are charged once per train in **both** modes — real NICs hold
+the QP context across a message's back-to-back packets, so per-packet
+touching would both be wrong and break the per-packet oracle's
+bit-identical cache-counter equivalence.
+
 When a :class:`~repro.telemetry.links.FlowRecorder` is installed on
 ``self.links``, every occupancy interval is recorded with its base /
 cache-penalty / DMA-extra decomposition before entering the pipe.  The
@@ -98,6 +106,10 @@ class NIC:
         self.disable_qp_cache = disable_qp_cache
         self.tx_messages = 0
         self.rx_messages = 0
+        #: MTU packets carried (mode-invariant train accounting; kept
+        #: out of telemetry snapshots, which stay per-message).
+        self.tx_packets = 0
+        self.rx_packets = 0
         #: cumulative processing-engine stall waiting on PCIe round trips
         #: for cold QP contexts (the Fig 10/11 degradation mechanism).
         self.pcie_stall_ns = 0
@@ -140,26 +152,34 @@ class NIC:
             self._record_proc(penalty, extra_ns, flow)
         return self.processor.occupy(self.config.nic_wr_ns + penalty + extra_ns)
 
-    def transmit(self, wire_bytes: int, flow: int = 0) -> Event:
-        """Serialize ``wire_bytes`` onto the outbound link."""
+    def transmit(self, wire_bytes: int, flow: int = 0,
+                 n_packets: int = 1) -> Event:
+        """Serialize a train of ``wire_bytes`` onto the outbound link."""
         self.tx_messages += 1
+        self.tx_packets += n_packets
         if self.links is not None:
             self._record_link("egress", self.egress, wire_bytes, 0, flow)
-        return self.egress.transmit(wire_bytes)
+        return self.egress.transmit_train(wire_bytes, n_packets)
 
-    def receive(self, wire_bytes: int, qpn: int, flow: int = 0) -> Event:
-        """Serialize ``wire_bytes`` off the inbound link into ``qpn``.
+    def receive(self, wire_bytes: int, qpn: int, flow: int = 0,
+                n_packets: int = 1) -> Event:
+        """Serialize a train of ``wire_bytes`` off the inbound link into
+        ``qpn``.
 
         The receive path also touches the destination QP context, so a
         node being bombarded across many cold QPs slows down symmetrically
-        with the send path.
+        with the send path.  The context is touched once per train (the
+        NIC holds it across the message's back-to-back packets), so the
+        miss penalty rides on the train as a whole.
         """
         self.rx_messages += 1
+        self.rx_packets += n_packets
         penalty = self._qp_touch_penalty(qpn)
         if self.links is not None:
             self._record_link("ingress", self.ingress, wire_bytes, penalty,
                               flow)
-        return self.ingress.transmit(wire_bytes, extra_ns=penalty)
+        return self.ingress.transmit_train(wire_bytes, n_packets,
+                                           extra_ns=penalty)
 
     def submit_wr(self, qpn: int, func: "Callable[[], None]",
                   extra_ns: int = 0, flow: int = 0) -> None:
@@ -171,20 +191,24 @@ class NIC:
             self.config.nic_wr_ns + penalty + extra_ns, func)
 
     def submit_tx(self, wire_bytes: int, func: "Callable[[], None]",
-                  flow: int = 0) -> None:
+                  flow: int = 0, n_packets: int = 1) -> None:
         """Hot-path twin of :meth:`transmit`: run ``func()`` at completion
         instead of returning an event (see :meth:`RatePipe.submit`)."""
         self.tx_messages += 1
+        self.tx_packets += n_packets
         if self.links is not None:
             self._record_link("egress", self.egress, wire_bytes, 0, flow)
-        self.egress.submit(wire_bytes, func)
+        self.egress.submit_train(wire_bytes, n_packets, func)
 
     def submit_rx(self, wire_bytes: int, qpn: int,
-                  func: "Callable[[], None]", flow: int = 0) -> None:
+                  func: "Callable[[], None]", flow: int = 0,
+                  n_packets: int = 1) -> None:
         """Hot-path twin of :meth:`receive`."""
         self.rx_messages += 1
+        self.rx_packets += n_packets
         penalty = self._qp_touch_penalty(qpn)
         if self.links is not None:
             self._record_link("ingress", self.ingress, wire_bytes, penalty,
                               flow)
-        self.ingress.submit(wire_bytes, func, extra_ns=penalty)
+        self.ingress.submit_train(wire_bytes, n_packets, func,
+                                  extra_ns=penalty)

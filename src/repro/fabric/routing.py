@@ -26,6 +26,14 @@ bit-identical oracle (see :mod:`repro.sim.fastpath`):
 Latencies arrive here as validated integers
 (:class:`~repro.fabric.topology.Hop` is the rounding boundary); the
 walkers assert that instead of rounding per packet.
+
+The walkers move whole packet *trains*: every pipe along the path —
+egress, trunk ports, ingress — is charged with ``packet.n_packets``
+MTU packets' worth of serialization in one event (or, under the
+``REPRO_TRAINS=0`` oracle, one tick per MTU boundary; see
+:mod:`repro.sim.trains`).  Delivery accounting, loss draws, jitter
+draws and trunk links records all stay per *message*: exactly one per
+train, from the same code positions in both modes.
 """
 
 from __future__ import annotations
@@ -58,6 +66,61 @@ def _record_trunk(fabric, port, packet: Packet) -> None:
                       max(0, busy_until - now), packet.flow)
 
 
+class _HopWalk:
+    """The multi-hop walk of :func:`_flat_walk` as a slotted object.
+
+    Calling the instance starts the walk at hop 0; each hop schedules
+    ``_forward`` (after the port pipe, where there is one), which in
+    turn schedules ``_advance`` for the next hop after the forwarding
+    latency.  Identical heap-entry and RNG-draw positions to the old
+    recursive closure, without the closure's self-referential cell — so
+    finished walks are reclaimed by reference counting alone.
+    """
+
+    __slots__ = ("fabric", "sim", "config", "rng", "packet", "hops",
+                 "unordered", "finish", "index", "latency")
+
+    def __init__(self, fabric, sim, config, rng, packet: Packet,
+                 hops: Sequence[Hop], unordered: bool,
+                 finish: Callable[[], None]):
+        self.fabric = fabric
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self.packet = packet
+        self.hops = hops
+        self.unordered = unordered
+        self.finish = finish
+        self.index = 0
+        self.latency = 0
+
+    def __call__(self) -> None:
+        self._advance()
+
+    def _advance(self) -> None:
+        index = self.index
+        if index == len(self.hops):
+            self.finish()
+            return
+        hop = self.hops[index]
+        latency = hop.latency_ns
+        if index == 0 and self.unordered and self.config.ud_jitter_ns:
+            latency += self.rng.randrange(self.config.ud_jitter_ns)
+        assert type(latency) is int, "hop latency must be integer ns"
+        self.index = index + 1
+        self.latency = latency
+        if hop.port is None:
+            self._forward()
+        else:
+            if self.fabric.links is not None:
+                _record_trunk(self.fabric, hop.port, self.packet)
+            hop.port.pipe.submit_train(self.packet.wire_bytes,
+                                       self.packet.n_packets, self._forward)
+
+    def _forward(self) -> None:
+        self.sim.call_later(self.latency, self._advance)
+
+
 def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
                unordered: bool, lossy: bool, done: Event,
                terminal: Terminal) -> Callable[[], None]:
@@ -73,6 +136,7 @@ def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
 
     def deliver() -> None:
         fabric.delivered_messages += 1
+        fabric.delivered_packets += packet.n_packets
         done.succeed(packet)
 
     def ingress() -> None:
@@ -83,7 +147,8 @@ def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
                 done.succeed(packet)
                 return
         fabric.nodes[packet.dst_node].nic.submit_rx(
-            packet.wire_bytes, packet.dst_qpn, deliver, flow=packet.flow)
+            packet.wire_bytes, packet.dst_qpn, deliver, flow=packet.flow,
+            n_packets=packet.n_packets)
 
     finish = terminal if terminal is not None else ingress
 
@@ -108,27 +173,15 @@ def _flat_walk(fabric, packet: Packet, hops: Sequence[Hop],
 
         return single
 
-    def advance(index: int) -> None:
-        if index == len(hops):
-            finish()
-            return
-        hop = hops[index]
-        latency = hop.latency_ns
-        if index == 0 and unordered and config.ud_jitter_ns:
-            latency += rng.randrange(config.ud_jitter_ns)
-        assert type(latency) is int, "hop latency must be integer ns"
-
-        def forward() -> None:
-            sim.call_later(latency, lambda: advance(index + 1))
-
-        if hop.port is None:
-            forward()
-        else:
-            if fabric.links is not None:
-                _record_trunk(fabric, hop.port, packet)
-            hop.port.pipe.submit(packet.wire_bytes, forward)
-
-    return lambda: advance(0)
+    # Multi-hop: a slotted walker object instead of a recursive closure.
+    # A closure that schedules itself (``lambda: advance(index + 1)``)
+    # refers to its own cell — a reference cycle per message that only a
+    # full gc pass can reclaim, which is ruinous at mesoscale.  The
+    # walker threads the hop index through instance state instead (the
+    # walk is strictly sequential), keeping every heap entry and RNG
+    # draw at the same position while staying refcount-collectable.
+    return _HopWalk(fabric, sim, config, rng, packet, hops, unordered,
+                    finish)
 
 
 def flat_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
@@ -145,7 +198,8 @@ def flat_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
     src_nic = fabric.nodes[packet.src_node].nic
 
     def start() -> None:
-        src_nic.submit_tx(packet.wire_bytes, after_egress, flow=packet.flow)
+        src_nic.submit_tx(packet.wire_bytes, after_egress, flow=packet.flow,
+                          n_packets=packet.n_packets)
 
     def after_egress() -> None:
         if egress_event is not None:
@@ -169,8 +223,8 @@ def proc_route(fabric, packet: Packet, hops: Tuple[Hop, ...],
                egress_event: Optional[Event] = None,
                terminal: Terminal = None):
     """Legacy generator twin of :func:`flat_route` (``REPRO_FASTPATH=0``)."""
-    yield fabric.nodes[packet.src_node].nic.transmit(packet.wire_bytes,
-                                                     flow=packet.flow)
+    yield fabric.nodes[packet.src_node].nic.transmit(
+        packet.wire_bytes, flow=packet.flow, n_packets=packet.n_packets)
     if egress_event is not None:
         egress_event.succeed(packet)
     yield from _proc_walk(fabric, packet, hops, unordered, lossy, done,
@@ -196,7 +250,8 @@ def _proc_walk(fabric, packet: Packet, hops: Sequence[Hop],
         if hop.port is not None:
             if fabric.links is not None:
                 _record_trunk(fabric, hop.port, packet)
-            yield hop.port.pipe.transmit(packet.wire_bytes)
+            yield hop.port.pipe.transmit_train(packet.wire_bytes,
+                                               packet.n_packets)
         yield sim.timeout(latency)
     if terminal is not None:
         terminal()
@@ -208,6 +263,8 @@ def _proc_walk(fabric, packet: Packet, hops: Sequence[Hop],
             done.succeed(packet)
             return
     yield fabric.nodes[packet.dst_node].nic.receive(
-        packet.wire_bytes, packet.dst_qpn, flow=packet.flow)
+        packet.wire_bytes, packet.dst_qpn, flow=packet.flow,
+        n_packets=packet.n_packets)
     fabric.delivered_messages += 1
+    fabric.delivered_packets += packet.n_packets
     done.succeed(packet)

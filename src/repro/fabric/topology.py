@@ -20,8 +20,12 @@ Structure
   is meaningful: paths that traverse the same physical resource share
   the same Hop object, which is what lets multicast find the last
   common switch by comparing hops.
-* :class:`Route` / :class:`Topology` — per-pair hop sequences, built
-  once from a :class:`~repro.fabric.config.TopologySpec`.
+* :class:`Route` / :class:`Topology` — per-pair hop sequences, derived
+  on lookup from a :class:`~repro.fabric.config.TopologySpec`.  Hop
+  tuples are shared per *equivalence class* (same leaf pair, same rail
+  and destination, the one single-switch hop) instead of materialised
+  per node pair, so route state is O(switches), not O(nodes²) — the
+  difference between 16 paper nodes and the 1024-node mesoscale sweep.
 
 The walkers in :mod:`repro.fabric.routing` execute these hop sequences;
 the :class:`~repro.fabric.network.Fabric` itself no longer knows what a
@@ -40,7 +44,7 @@ nanoseconds instead of rounding per packet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.config import NetworkConfig, TopologySpec
 from repro.sim import Simulator
@@ -156,7 +160,9 @@ class Topology:
         self.num_nodes = num_nodes
         self.switches: List[Switch] = []
         self.links: List[Link] = []
-        self._routes: List[List[Route]] = []
+        #: per-kind lookup of the (shared) hop tuple for a non-loopback
+        #: pair; assigned by the builder below.
+        self._pair_hops: "Callable[[int, int], Tuple[Hop, ...]]"
         #: multicast trunk/leg split per (src, member-tuple) group.
         self._mcast_cache: Dict[
             Tuple[int, Tuple[int, ...]],
@@ -187,11 +193,8 @@ class Topology:
         rate = self.network.link_bytes_per_ns
         for node in range(self.num_nodes):
             self.links.append(Link(f"node{node}", switch.name, rate))
-        self._routes = [
-            [Route(src, dst, () if src == dst else (hop,))
-             for dst in range(self.num_nodes)]
-            for src in range(self.num_nodes)
-        ]
+        shared = (hop,)
+        self._pair_hops = lambda src, dst: shared
 
     def _build_leaf_spine(self) -> None:
         """Two tiers: leaves of ``nodes_per_leaf`` nodes under one spine.
@@ -231,20 +234,17 @@ class Topology:
                 self.links.append(Link(f"{spine.name}.down{i}", leaf.name,
                                        trunk_rate))
 
-        self._routes = []
-        for src in range(self.num_nodes):
-            src_leaf = src // per_leaf
-            row = []
-            for dst in range(self.num_nodes):
-                dst_leaf = dst // per_leaf
-                if src == dst:
-                    hops: Tuple[Hop, ...] = ()
-                elif src_leaf == dst_leaf:
-                    hops = (local_hop[src_leaf],)
+        # One shared hop tuple per (src leaf, dst leaf) pair — O(leaves²)
+        # route state regardless of node count.
+        pair: Dict[Tuple[int, int], Tuple[Hop, ...]] = {}
+        for sl in range(num_leaves):
+            for dl in range(num_leaves):
+                if sl == dl:
+                    pair[(sl, dl)] = (local_hop[sl],)
                 else:
-                    hops = (up_hop[src_leaf], spine_hop, down_hop[dst_leaf])
-                row.append(Route(src, dst, hops))
-            self._routes.append(row)
+                    pair[(sl, dl)] = (up_hop[sl], spine_hop, down_hop[dl])
+        self._pair_hops = (
+            lambda src, dst: pair[(src // per_leaf, dst // per_leaf)])
 
     def _build_dual_rail(self) -> None:
         """Independent full-bisection planes with per-destination output
@@ -269,19 +269,31 @@ class Topology:
                 self.links.append(Link(f"node{node}", rail.name,
                                        net.link_bytes_per_ns))
         num_rails = len(rails)
-        self._routes = [
-            [Route(src, dst,
-                   () if src == dst
-                   else (out_hop[(src + dst) % num_rails][dst],))
-             for dst in range(self.num_nodes)]
-            for src in range(self.num_nodes)
-        ]
+        # One shared 1-tuple per (rail, dst) output port — O(rails · n)
+        # route state instead of O(n²).
+        rail_hops = [tuple((hop,) for hop in hops_for_rail)
+                     for hops_for_rail in out_hop]
+        self._pair_hops = (
+            lambda src, dst: rail_hops[(src + dst) % num_rails][dst])
 
     # -- lookup ------------------------------------------------------------
 
+    def route_hops(self, src: int, dst: int) -> Tuple[Hop, ...]:
+        """The (shared) hop tuple for one directed pair.
+
+        This is the hot-path lookup: no ``Route`` object is allocated,
+        and the returned tuple is shared by every pair of the same
+        equivalence class, so Hop-identity comparisons (multicast's
+        last-common-switch split) keep working.
+        """
+        if src == dst:
+            return ()
+        return self._pair_hops(src, dst)
+
     def route(self, src: int, dst: int) -> Route:
-        """The precomputed route for one directed pair."""
-        return self._routes[src][dst]
+        """The route for one directed pair (introspection/tests; the
+        fabric itself uses :meth:`route_hops`)."""
+        return Route(src, dst, self.route_hops(src, dst))
 
     def mcast_route(self, src: int, members: Sequence[int]
                     ) -> Tuple[Tuple[Hop, ...], Dict[int, Tuple[Hop, ...]]]:
@@ -302,7 +314,7 @@ class Topology:
         cached = self._mcast_cache.get(key)
         if cached is not None:
             return cached
-        paths = {m: self._routes[src][m].hops for m in members}
+        paths = {m: self.route_hops(src, m) for m in members}
         prefix_len = 0
         if members:
             first = paths[members[0]]

@@ -27,7 +27,7 @@ class Buffer:
     one-sided reads see whatever currently sits in registered memory.
     """
 
-    __slots__ = ("mr", "addr", "capacity", "payload", "length", "meta")
+    __slots__ = ("mr", "addr", "capacity", "payload", "length", "_meta")
 
     def __init__(self, mr: MemoryRegion, addr: int, capacity: int):
         self.mr = mr
@@ -35,7 +35,16 @@ class Buffer:
         self.capacity = capacity
         self.payload: Any = None
         self.length = 0
-        self.meta: Dict[str, Any] = {}
+        # Lazily allocated: a mesoscale cluster carves millions of
+        # buffers, and an eager empty dict per slot is real memory.
+        self._meta: Dict[str, Any] | None = None
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        """Scratch metadata, allocated on first use."""
+        if self._meta is None:
+            self._meta = {}
+        return self._meta
 
     def fill(self, payload: Any, length: int) -> None:
         """Place ``length`` bytes of payload into the buffer."""
@@ -71,7 +80,8 @@ class Buffer:
             san.on_buffer_write(self, "reset")
         self.payload = None
         self.length = 0
-        self.meta.clear()
+        if self._meta:
+            self._meta.clear()
         self.mr.set_object(self.addr, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

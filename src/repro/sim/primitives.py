@@ -12,8 +12,18 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List
 
 from repro.sim.kernel import Event, SimError, Simulator
+from repro.sim.trains import enabled as _trains_enabled
 
 __all__ = ["Queue", "Semaphore", "Mutex", "Notify", "Barrier", "RatePipe"]
+
+
+def _packet_tick() -> None:
+    """The per-packet oracle's intermediate MTU-boundary tick.
+
+    Deliberately a no-op: a train's non-final packets carry no protocol
+    action, so the oracle's extra heap entries are observability-only
+    and cannot perturb any other event (see :mod:`repro.sim.trains`).
+    """
 
 
 class Queue:
@@ -174,6 +184,12 @@ class RatePipe:
 
     Rates are expressed in units per nanosecond (e.g. bytes/ns, which is
     numerically equal to GB/s).
+
+    The ``*_train`` entry points charge a whole packet train (one
+    message's back-to-back MTU packets) in a single event; with
+    ``split_packets`` set (the ``REPRO_TRAINS=0`` oracle) they instead
+    tick every integer MTU boundary — same charge, same ``busy_until``,
+    same counters, just ``n_packets`` completion entries instead of one.
     """
 
     def __init__(self, sim: Simulator, rate: float, name: str = ""):
@@ -182,6 +198,11 @@ class RatePipe:
         self.sim = sim
         self.rate = rate
         self.name = name
+        #: per-packet oracle mode (REPRO_TRAINS=0): ``*_train`` calls
+        #: schedule one tick per MTU packet instead of one per train.
+        #: Read once at construction; Fabric.use_packet_oracle() flips it
+        #: on a quiesced fabric for in-process A/B runs.
+        self.split_packets = not _trains_enabled()
         self._busy_until: int = 0
         # Serialization delays by unit count.  Real traffic uses a handful
         # of distinct message sizes, so the division in the hot path is
@@ -254,6 +275,64 @@ class RatePipe:
         self.busy_ns += duration
         if self._tracer is not None and duration > 0:
             self._trace_interval(start, duration, units)
+        self.sim.call_later(self._busy_until - self.sim.now, func)
+
+    def _packet_boundaries(self, start: int, ser_ns: int,
+                           n_packets: int) -> None:
+        """Schedule the oracle's intermediate MTU-boundary ticks.
+
+        Packet ``i`` (1-based) of ``n`` completes at
+        ``start + (ser * i) // n`` — integer boundaries, monotone
+        non-decreasing, with the final packet's completion (scheduled by
+        the caller, carrying any ``extra_ns``) landing exactly at the
+        pipe's ``busy_until``.  All ticks are enqueued consecutively, so
+        they cannot reorder any foreign event in a shared time bucket.
+        """
+        now = self.sim.now
+        call_later = self.sim.call_later
+        for i in range(1, n_packets):
+            call_later(start + (ser_ns * i) // n_packets - now, _packet_tick)
+
+    def transmit_train(self, units: float, n_packets: int,
+                       extra_ns: int = 0) -> Event:
+        """Charge one packet train; returns the train-arrival event.
+
+        Identical occupancy, counters and completion time to
+        :meth:`transmit` — a train *is* one ``units``-sized transfer —
+        but under the per-packet oracle the serialization interval is
+        additionally ticked at every MTU boundary.
+        """
+        if units < 0:
+            raise SimError(f"cannot transmit negative units: {units}")
+        start = max(self.sim.now, self._busy_until)
+        ser = self._serialization_ns(units)
+        duration = ser + int(extra_ns)
+        self._busy_until = start + duration
+        self.total_units += units
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, units)
+        if n_packets > 1 and self.split_packets:
+            self._packet_boundaries(start, ser, n_packets)
+        event = Event(self.sim)
+        event.succeed(delay=self._busy_until - self.sim.now)
+        return event
+
+    def submit_train(self, units: float, n_packets: int,
+                     func: Callable[[], None], extra_ns: int = 0) -> None:
+        """Hot-path twin of :meth:`transmit_train` (see :meth:`submit`)."""
+        if units < 0:
+            raise SimError(f"cannot transmit negative units: {units}")
+        start = max(self.sim.now, self._busy_until)
+        ser = self._serialization_ns(units)
+        duration = ser + int(extra_ns)
+        self._busy_until = start + duration
+        self.total_units += units
+        self.busy_ns += duration
+        if self._tracer is not None and duration > 0:
+            self._trace_interval(start, duration, units)
+        if n_packets > 1 and self.split_packets:
+            self._packet_boundaries(start, ser, n_packets)
         self.sim.call_later(self._busy_until - self.sim.now, func)
 
     def occupy(self, duration_ns: int) -> Event:

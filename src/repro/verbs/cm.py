@@ -32,6 +32,10 @@ class EndpointRegistry:
     def __init__(self):
         self._published: Dict[Any, Any] = {}
 
+    def dispose(self) -> None:
+        """Forget every published endpoint (end-of-query teardown)."""
+        self._published.clear()
+
     def publish(self, endpoint_id: Any, info: Any) -> None:
         if endpoint_id in self._published:
             raise VerbsError(f"endpoint id {endpoint_id!r} already published")

@@ -12,7 +12,7 @@ from repro.verbs.constants import Opcode, VerbsError, WCStatus
 __all__ = ["WorkCompletion", "CompletionQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkCompletion:
     """One completion entry (``ibv_wc``).
 
@@ -73,6 +73,17 @@ class CompletionQueue:
 
     def __len__(self) -> int:
         return len(self._entries) + len(self._pending)
+
+    def dispose(self) -> None:
+        """Drop queued completions and the subscriber callback.
+
+        The subscriber is a bound endpoint method, which makes every
+        CQ<->endpoint pair a reference cycle; teardown breaks it so a
+        finished cluster can be reclaimed by reference counting."""
+        self._subscriber = None
+        self._pending.clear()
+        self._entries._items.clear()
+        self._entries._getters.clear()
 
     def push(self, wc: WorkCompletion) -> None:
         """Deposit a completion (called by the simulated NIC)."""

@@ -61,6 +61,20 @@ class VerbsContext:
         enabled on the fabric after this context was created)."""
         return self.fabric.links
 
+    def dispose(self) -> None:
+        """Break this context's QP<->CQ<->endpoint reference cycles.
+
+        Called on end-of-query teardown (see :meth:`Cluster.dispose`);
+        the context is unusable afterwards.
+        """
+        for qp in self._qps.values():
+            qp.send_cq = None
+            qp.recv_cq = None
+        for cq in self._cqs:
+            cq.dispose()
+        self._qps.clear()
+        self._cqs.clear()
+
     # -- object creation ---------------------------------------------------
 
     def _assign_qpn(self, qp: QueuePair) -> int:

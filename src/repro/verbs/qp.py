@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional
 
-from repro.fabric.packet import Packet
+from repro.fabric.packet import Packet, make_train
 from repro.sim import Event, Queue
 from repro.verbs.constants import (
     MAX_RC_MSG,
@@ -254,11 +254,10 @@ class QueuePair:
         assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
         yield nic.process_wr(self.qpn, flow=wr.flow)
-        packet = Packet(
-            src_node=self.ctx.node_id, dst_node=peer.node_id,
+        packet = make_train(
+            config, src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="SEND",
-            length=wr.length,
-            wire_bytes=config.wire_bytes(wr.length, "RC"),
+            length=wr.length, transport="RC",
             payload=None if wr.buffer is None else wr.buffer.payload,
             meta={"imm": wr.imm}, flow=wr.flow,
         )
@@ -281,8 +280,8 @@ class QueuePair:
                                      rnr_t0, stalled)
         remote_qp._recv_posted -= 1
         remote_qp._deposit(rwr, packet)
-        ack = Packet(
-            src_node=peer.node_id, dst_node=self.ctx.node_id,
+        ack = make_train(
+            config, src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
             length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
         )
@@ -312,11 +311,10 @@ class QueuePair:
             ctx.nic.submit_wr(self.qpn, after_wr, flow=wr.flow)
 
         def after_wr() -> None:
-            packet = Packet(
-                src_node=ctx.node_id, dst_node=peer.node_id,
+            packet = make_train(
+                config, src_node=ctx.node_id, dst_node=peer.node_id,
                 src_qpn=self.qpn, dst_qpn=peer.qpn, kind="SEND",
-                length=wr.length,
-                wire_bytes=config.wire_bytes(wr.length, "RC"),
+                length=wr.length, transport="RC",
                 payload=None if wr.buffer is None else wr.buffer.payload,
                 meta={"imm": wr.imm}, flow=wr.flow,
             )
@@ -345,8 +343,8 @@ class QueuePair:
                                         rnr_t0, stalled)
                 remote_qp._recv_posted -= 1
                 remote_qp._deposit(rwr, packet)
-                ack = Packet(
-                    src_node=peer.node_id, dst_node=ctx.node_id,
+                ack = make_train(
+                    config, src_node=peer.node_id, dst_node=ctx.node_id,
                     src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
                     length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
                 )
@@ -368,8 +366,8 @@ class QueuePair:
         assert peer is not None  # post_send validated the connection
         t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn, flow=wr.flow)
-        request = Packet(
-            src_node=self.ctx.node_id, dst_node=peer.node_id,
+        request = make_train(
+            config, src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="READ_REQ",
             length=0, wire_bytes=config.rc_header_bytes, flow=wr.flow,
         )
@@ -378,11 +376,10 @@ class QueuePair:
         remote = self.ctx.peer_context(peer.node_id)
         yield remote.nic.process_wr(peer.qpn, flow=wr.flow)
         mr = remote.memory.resolve(wr.remote_addr)
-        response = Packet(
-            src_node=peer.node_id, dst_node=self.ctx.node_id,
+        response = make_train(
+            config, src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="READ_RESP",
-            length=wr.length,
-            wire_bytes=config.wire_bytes(wr.length, "RC"),
+            length=wr.length, transport="RC",
             payload=mr.get_object(wr.remote_addr), flow=wr.flow,
         )
         response = yield self.ctx.fabric.route(response)
@@ -401,12 +398,11 @@ class QueuePair:
         # Inlined payloads skip the extra DMA fetch of the payload [16].
         extra = 0 if wr.inline else config.nic_wr_ns
         yield self.ctx.nic.process_wr(self.qpn, extra_ns=extra, flow=wr.flow)
-        packet = Packet(
-            src_node=self.ctx.node_id, dst_node=peer.node_id,
+        packet = make_train(
+            config, src_node=self.ctx.node_id, dst_node=peer.node_id,
             src_qpn=self.qpn, dst_qpn=peer.qpn, kind="WRITE",
             length=max(wr.length, 8 if wr.value is not None else 0),
-            wire_bytes=config.wire_bytes(
-                max(wr.length, 8 if wr.value is not None else 0), "RC"),
+            transport="RC",
             payload=None if wr.buffer is None else wr.buffer.payload,
             flow=wr.flow,
         )
@@ -417,8 +413,8 @@ class QueuePair:
             mr.write_u64(wr.remote_addr, wr.value)
         else:
             mr.set_object(wr.remote_addr, packet.payload)
-        ack = Packet(
-            src_node=peer.node_id, dst_node=self.ctx.node_id,
+        ack = make_train(
+            config, src_node=peer.node_id, dst_node=self.ctx.node_id,
             src_qpn=peer.qpn, dst_qpn=self.qpn, kind="ACK",
             length=0, wire_bytes=config.rc_ack_bytes, flow=wr.flow,
         )
@@ -438,11 +434,10 @@ class QueuePair:
         assert dest is not None  # post_send validated the destination
         t0 = self.ctx.sim.now
         yield self.ctx.nic.process_wr(self.qpn, flow=wr.flow)
-        packet = Packet(
-            src_node=self.ctx.node_id, dst_node=max(dest.node_id, 0),
+        packet = make_train(
+            config, src_node=self.ctx.node_id, dst_node=max(dest.node_id, 0),
             src_qpn=self.qpn, dst_qpn=dest.qpn, kind="SEND",
-            length=wr.length,
-            wire_bytes=config.wire_bytes(wr.length, "UD"),
+            length=wr.length, transport="UD",
             payload=None if wr.buffer is None else wr.buffer.payload,
             meta={"imm": wr.imm}, flow=wr.flow,
         )
@@ -490,11 +485,10 @@ class QueuePair:
             ctx.nic.submit_wr(self.qpn, after_wr, flow=wr.flow)
 
         def after_wr() -> None:
-            packet = Packet(
-                src_node=ctx.node_id, dst_node=max(dest.node_id, 0),
+            packet = make_train(
+                config, src_node=ctx.node_id, dst_node=max(dest.node_id, 0),
                 src_qpn=self.qpn, dst_qpn=dest.qpn, kind="SEND",
-                length=wr.length,
-                wire_bytes=config.wire_bytes(wr.length, "UD"),
+                length=wr.length, transport="UD",
                 payload=None if wr.buffer is None else wr.buffer.payload,
                 meta={"imm": wr.imm}, flow=wr.flow,
             )

@@ -10,7 +10,7 @@ from repro.verbs.constants import AddressHandle, Opcode, VerbsError
 __all__ = ["SendWR", "RecvWR"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWR:
     """A work request for the send queue (Send, RDMA Read, RDMA Write).
 
@@ -54,7 +54,7 @@ class SendWR:
             raise VerbsError("READ needs a local destination buffer")
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWR:
     """A work request for the receive queue.
 

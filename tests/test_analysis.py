@@ -232,6 +232,48 @@ class TestVS107TimestamplessTracerEvents:
         assert lint_source("bench/evil.py", self.BAD) == []
 
 
+class TestVS108DirectPacketConstruction:
+    """Only fabric/ may build Packets; everything above must go through
+    make_train so RC messages are segmented into MTU trains."""
+
+    BAD = (
+        "def send(self, config):\n"
+        "    pkt = Packet(0, 1, 11, 22, 'SEND', 4096, 4222)\n"
+        "    train = packet.PacketTrain(0, 1, 11, 22, 'SEND', 0, 64,\n"
+        "                               n_packets=2)\n"
+    )
+
+    def test_direct_construction_flagged(self):
+        violations = lint_source("core/evil.py", self.BAD)
+        assert rules_of(violations) == ["VS108", "VS108"]
+        assert "make_train" in violations[0].message
+
+    def test_planted_bug_in_verbs_layer_is_caught(self):
+        # The realistic regression: a verbs-layer send path hand-rolls a
+        # Packet and ships a multi-MTU RC message as a one-packet train.
+        source = (
+            "def _rc_send(self, wr):\n"
+            "    pkt = Packet(self.node, peer, self.qpn, dqpn, 'SEND',\n"
+            "                 wr.length, wire(wr.length))\n"
+            "    self.ctx.fabric_route(pkt)\n"
+        )
+        violations = lint_source("verbs/qp.py", source)
+        assert rules_of(violations) == ["VS108"]
+
+    def test_fabric_layer_is_exempt(self):
+        assert lint_source("fabric/packet.py", self.BAD) == []
+        assert lint_source("fabric/network.py", self.BAD) == []
+
+    def test_make_train_call_is_clean(self):
+        source = (
+            "def send(self, config):\n"
+            "    pkt = make_train(config, src_node=0, dst_node=1,\n"
+            "                     src_qpn=11, dst_qpn=22, kind='SEND',\n"
+            "                     length=4096, transport='RC')\n"
+        )
+        assert lint_source("core/evil.py", source) == []
+
+
 class TestLintMachinery:
     def test_syntax_error_becomes_vs000(self):
         violations = lint_source("core/broken.py", "def f(:\n")

@@ -12,7 +12,13 @@ from repro.bench.workloads import (
     run_broadcast,
     run_repartition,
 )
-from repro.bench.experiments import table1
+from repro.bench.compare import breached, compare
+from repro.bench.compare import main as compare_main
+from repro.bench.experiments import (
+    _scaleout_counts,
+    _scaleout_volume,
+    table1,
+)
 from repro.bench.cli import main as cli_main
 
 MIB = 1 << 20
@@ -149,3 +155,84 @@ class TestExperiments:
 
     def test_cli_no_args_shows_help(self, capsys):
         assert cli_main([]) == 2
+
+    def test_cli_nodes_override(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        rc = cli_main(["fig12", "--nodes", "4", "--json", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["schema"]["version"] >= 4
+        assert data["nodes"] == 4
+        # The node-count sweep collapses to the one requested size.
+        assert data["experiments"][0]["results"][0]["x"] == [4]
+
+    def test_cli_nodes_rejects_degenerate_cluster(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig12", "--nodes", "1"])
+
+    def test_scaleout_counts_truncate_at_nodes(self):
+        assert _scaleout_counts(None) == (64, 128, 256, 512, 1024)
+        assert _scaleout_counts(128) == (64, 128)
+        assert _scaleout_counts(1024) == (64, 128, 256, 512, 1024)
+        # Off-grid sizes run alone rather than silently rounding.
+        assert _scaleout_counts(100) == (100,)
+
+    def test_scaleout_volume_decays_but_floors(self):
+        assert _scaleout_volume(64, 1.0) == 32 * MIB
+        assert _scaleout_volume(256, 1.0) == 2 * MIB
+        assert _scaleout_volume(1024, 1.0) == 256 << 10  # the floor
+        assert _scaleout_volume(64, 0.25) == 8 * MIB
+        assert _scaleout_volume(128, 1.0) == 8 * MIB
+
+
+def _bench_doc(**values):
+    return {"benchmarks": {
+        name: {"value": value,
+               "higher_is_better": name != "wall_clock_s",
+               "unit": "x/s"}
+        for name, value in values.items()
+    }}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        base = _bench_doc(kernel_events_per_sec=100.0)
+        fresh = _bench_doc(kernel_events_per_sec=90.0)
+        assert compare(base, fresh, threshold=0.25) == []
+
+    def test_regression_is_direction_aware(self):
+        base = _bench_doc(kernel_events_per_sec=100.0, wall_clock_s=10.0)
+        fresh = _bench_doc(kernel_events_per_sec=50.0, wall_clock_s=20.0)
+        failures = compare(base, fresh, threshold=0.25)
+        assert breached(failures) == ["kernel_events_per_sec",
+                                      "wall_clock_s"]
+        assert "dropped" in failures[0] and "rose" in failures[1]
+
+    def test_breached_names_missing_benchmark(self):
+        base = _bench_doc(fabric_train_events_per_sec=100.0)
+        failures = compare(base, _bench_doc())
+        assert breached(failures) == ["fabric_train_events_per_sec"]
+
+    def test_main_names_breaching_benchmarks(self, capsys, tmp_path):
+        base_path = tmp_path / "base.json"
+        fresh_path = tmp_path / "fresh.json"
+        base_path.write_text(json.dumps(
+            _bench_doc(kernel_events_per_sec=100.0, steady_metric=50.0)))
+        fresh_path.write_text(json.dumps(
+            _bench_doc(kernel_events_per_sec=10.0, steady_metric=50.0,
+                       brand_new_metric=1.0)))
+        rc = compare_main([str(base_path), str(fresh_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "breached by kernel_events_per_sec" in captured.err
+        assert "steady_metric" not in captured.err.split("breached by")[1]
+        # Fresh-only benchmarks are reported, not gated.
+        assert "n/a (new)" in captured.out
+
+    def test_main_passes_clean_run(self, capsys, tmp_path):
+        base_path = tmp_path / "base.json"
+        fresh_path = tmp_path / "fresh.json"
+        base_path.write_text(json.dumps(_bench_doc(m=100.0)))
+        fresh_path.write_text(json.dumps(_bench_doc(m=101.0)))
+        assert compare_main([str(base_path), str(fresh_path)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out

@@ -139,7 +139,7 @@ class TestBenchCLI:
                                                            capsys):
         seen = {}
 
-        def tiny(scale=1.0):
+        def tiny(scale=1.0, nodes=None):
             cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
             seen["sanitizer"] = cluster.sanitizer
             return []
@@ -150,7 +150,7 @@ class TestBenchCLI:
         assert "sanitizer" in capsys.readouterr().err
 
     def test_violation_forces_nonzero_exit(self, monkeypatch, capsys):
-        def bad(scale=1.0):
+        def bad(scale=1.0, nodes=None):
             cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
             cluster.sanitizer.record("qp-state", "planted", node_id=0)
             return []
@@ -162,7 +162,7 @@ class TestBenchCLI:
     def test_without_flag_cluster_is_unsanitized(self, monkeypatch):
         seen = {}
 
-        def tiny(scale=1.0):
+        def tiny(scale=1.0, nodes=None):
             cluster = Cluster(ClusterConfig(network=EDR, num_nodes=2))
             seen["sanitizer"] = cluster.sanitizer
             return []

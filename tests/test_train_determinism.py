@@ -1,0 +1,142 @@
+"""A/B regression for flow-level packet trains (REPRO_TRAINS).
+
+With trains enabled (the default), every pipe charges one message's
+back-to-back MTU packets in a single event; with ``REPRO_TRAINS=0`` the
+per-packet oracle ticks every MTU boundary instead.  Everything a user
+can measure — simulated end times, modeled metrics, trace span counts,
+critical-path attribution — must come out bit-identical, for every
+endpoint design on every topology preset.  Only the four interpreter
+self-counters may differ (the oracle legitimately dispatches more
+events — that surplus *is* the event reduction the train abstraction
+buys, asserted at the bottom).
+
+The shuffles here use 64 KiB messages on the RC designs so that real
+multi-packet trains (16 MTU packets each) cross the fabric; the UD
+designs are MTU-bound by the verbs layer, so their datagrams are
+single-packet trains by construction and pin down the n==1 boundary.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    EDR,
+    EndpointConfig,
+    TransmissionGroups,
+)
+from repro.core import ReceiveOperator, ShuffleOperator
+from repro.core.shuffle import striped_partitioner
+from repro.core.stage import ShuffleStage
+from repro.engine import CollectSink, QueryFragment, run_fragments
+from repro.engine.scan import ScanOperator
+from repro.fabric import DUAL_RAIL, LEAF_SPINE, SINGLE_SWITCH
+from tests.test_determinism import DESIGN_NAMES
+from tests.test_fastpath_determinism import SIM_SELF_COUNTERS, _comparable
+
+DTYPE = np.dtype([("a", np.int64), ("b", np.int64)])
+
+#: UD transports cap messages at the MTU; RC designs get 64 KiB messages
+#: (16-packet trains at the 4 KiB MTU).
+UD_DESIGNS = {"MESQ/SR", "MESQ/SR+MC"}
+
+TOPOLOGIES = [SINGLE_SWITCH, LEAF_SPINE(oversubscription=2), DUAL_RAIL]
+TOPOLOGY_IDS = ["single-switch", "leaf-spine", "dual-rail"]
+
+
+def run_shuffle(design, topology=SINGLE_SWITCH, nodes=2, threads=2,
+                credit_frequency=None):
+    """One small shuffle with train-sized messages; returns
+    ``(metrics snapshot, span count, end time, report JSON,
+    delivered_messages, delivered_packets)``."""
+    cluster = Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                    threads_per_node=threads,
+                                    topology=topology))
+    tracer = cluster.enable_tracing()
+    cluster.enable_reporting()
+    groups = TransmissionGroups.repartition(nodes)
+    message_size = 4096 if design in UD_DESIGNS else 65536
+    kwargs = {}
+    if credit_frequency is not None:
+        kwargs["credit_frequency"] = credit_frequency
+    cfg = EndpointConfig(message_size=message_size, **kwargs)
+    stage = ShuffleStage(cluster.fabric, design, groups, config=cfg,
+                         threads=threads, registry=cluster.registry)
+    cluster.run_process(stage.setup())
+    rows_per_node = 8192
+    fragments, sinks = [], []
+    for n in range(nodes):
+        node = cluster.nodes[n]
+        table = np.empty(rows_per_node, dtype=DTYPE)
+        table["a"] = np.arange(rows_per_node)
+        table["b"] = n
+        # Large batches so per-destination slices exceed one MTU on the
+        # RC designs — that is what makes the trains multi-packet.
+        scan = ScanOperator(node, table, threads, batch_rows=4096)
+        shuffle = ShuffleOperator(node, scan, stage.send_endpoints[n],
+                                  groups, striped_partitioner(len(groups)),
+                                  threads)
+        fragments.append(QueryFragment(node, shuffle, threads))
+        recv = ReceiveOperator(node, stage.recv_endpoints[n], threads)
+        sink = CollectSink()
+        sinks.append(sink)
+        fragments.append(QueryFragment(node, recv, threads, sink=sink))
+    cluster.run_process(run_fragments(cluster.sim, fragments))
+    cluster.run()  # drain trailing completions
+    got = sum(len(s.result()) for s in sinks if s.result() is not None)
+    assert got == nodes * rows_per_node
+    report_json = json.dumps(cluster.run_report(), sort_keys=True)
+    return (cluster.metrics_snapshot(), len(tracer.events), cluster.sim.now,
+            report_json, cluster.fabric.delivered_messages,
+            cluster.fabric.delivered_packets)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=TOPOLOGY_IDS)
+@pytest.mark.parametrize("design", DESIGN_NAMES)
+def test_trains_match_per_packet_oracle(design, topology, monkeypatch):
+    monkeypatch.delenv("REPRO_TRAINS", raising=False)
+    train = run_shuffle(design, topology)
+    monkeypatch.setenv("REPRO_TRAINS", "0")
+    oracle = run_shuffle(design, topology)
+    assert train[2] == oracle[2], "simulated end times diverge"
+    assert train[1] == oracle[1], "trace span counts diverge"
+    assert _comparable(train[0]) == _comparable(oracle[0]), \
+        "modeled metrics diverge"
+    assert train[3] == oracle[3], "critical-path attribution diverges"
+    assert train[4:] == oracle[4:], "delivery accounting diverges"
+    if design not in UD_DESIGNS:
+        # The RC shuffles must actually move multi-packet trains, and the
+        # oracle must pay for them in dispatched events — the surplus the
+        # train abstraction removes.
+        assert train[5] > train[4], "no multi-packet trains were routed"
+        events = "sim.events_dispatched"
+        assert oracle[0]["fabric"][events] > train[0]["fabric"][events]
+
+
+def test_exempt_counters_are_the_only_divergence(monkeypatch):
+    """Sanity check on the exemption set: everything the oracle changes
+    is one of the four interpreter self-counters."""
+    monkeypatch.delenv("REPRO_TRAINS", raising=False)
+    train = run_shuffle("MEMQ/SR")
+    monkeypatch.setenv("REPRO_TRAINS", "0")
+    oracle = run_shuffle("MEMQ/SR")
+    diverged = {k for k in train[0]["fabric"]
+                if train[0]["fabric"][k] != oracle[0]["fabric"].get(k)}
+    assert diverged, "oracle should dispatch extra no-op events"
+    assert diverged <= SIM_SELF_COUNTERS
+
+
+def test_train_crossing_credit_grant(monkeypatch):
+    """Boundary case: with a credit granted back after every message,
+    multi-packet trains interleave with credit traffic at every pipe;
+    the oracle must still be bit-identical."""
+    monkeypatch.delenv("REPRO_TRAINS", raising=False)
+    train = run_shuffle("MEMQ/SR", credit_frequency=1)
+    monkeypatch.setenv("REPRO_TRAINS", "0")
+    oracle = run_shuffle("MEMQ/SR", credit_frequency=1)
+    assert train[2] == oracle[2], "simulated end times diverge"
+    assert _comparable(train[0]) == _comparable(oracle[0])
+    assert train[3] == oracle[3], "critical-path attribution diverges"
