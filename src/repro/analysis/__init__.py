@@ -1,11 +1,16 @@
 """Correctness tooling for the simulated RDMA stack.
 
-Two prongs (see DESIGN.md "Analysis & sanitizer"):
+Three prongs (see DESIGN.md "Analysis & sanitizer" and "Protocol model
+checking"):
 
 * :mod:`repro.analysis.linter` — AST-based protocol lint over
   ``src/repro`` (``python -m repro.analysis`` / ``pytest --repro-lint``);
 * :mod:`repro.analysis.sanitizer` — the runtime race detector enabled by
-  ``Cluster.enable_sanitizer()`` / ``repro-bench --sanitize``.
+  ``Cluster.enable_sanitizer()`` / ``repro-bench --sanitize``;
+* :mod:`repro.analysis.model` — the bounded protocol model checker
+  (``python -m repro.analysis model`` / ``pytest --repro-model``),
+  verifying each endpoint kind's flow-control protocol exhaustively at
+  small instance sizes.
 """
 
 from repro.analysis.linter import (
@@ -14,6 +19,7 @@ from repro.analysis.linter import (
     lint_paths,
     lint_source,
     package_root,
+    parse_select,
 )
 from repro.analysis.sanitizer import (
     RUNTIME_RULES,
@@ -34,4 +40,5 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "package_root",
+    "parse_select",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "package_root",
+    "parse_select",
 ]
 
 #: static rule catalogue: rule id -> one-line description.
@@ -58,6 +59,11 @@ STATIC_RULES: Dict[str, str] = {
         "Packet/PacketTrain constructed directly outside fabric/ "
         "(use fabric.packet.make_train so RC messages are segmented "
         "into MTU trains consistently)"),
+    "VS109": (
+        "self-referential closure in simulation code (a nested "
+        "callback capturing itself or stored onto the object it "
+        "captures creates a reference cycle the event loop keeps "
+        "alive — the _HopWalk leak class)"),
 }
 
 
@@ -349,6 +355,98 @@ def _rule_vs108(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
                    f"fabric.packet.make_train for MTU-train segmentation)")
 
 
+#: sites where a self-referential callback is the accepted idiom (each
+#: breaks its cycle by hand or is a one-shot whose cycle dies with the
+#: run; reviewed when the rule landed).
+_VS109_EXEMPT: Tuple[str, ...] = ()
+
+
+def _rule_vs109(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Self-referential closures in simulation code (VS109).
+
+    Two shapes of the ``_HopWalk`` leak class (a per-hop walker that
+    rescheduled itself held its whole capture set alive across the run):
+
+    * a nested function that references *its own name* — the closure
+      cell then points back at the function object, a cycle only the
+      cyclic GC can reclaim, so every captured local (buffers, QPs,
+      endpoints) outlives its last event until a collection happens;
+    * a closure capturing ``self`` that is stored onto ``self`` (attr
+      assignment, or appended/registered into one of ``self``'s
+      containers) — ``self -> attr -> closure -> self``.
+
+    Both are fixed the same way: capture exactly what the callback
+    needs (locals, not ``self``), or clear the stored reference when
+    the protocol step retires.
+    """
+    if not _in_scope(rel, ("sim/", "fabric/", "core/"),
+                     exclude=_VS109_EXEMPT):
+        return
+    for meth in ast.walk(tree):
+        if not isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        #: nested defs of this function that capture ``self``.
+        captures_self: Dict[str, int] = {}
+        for node in ast.iter_child_nodes(meth):
+            for inner in ast.walk(node):
+                if not isinstance(inner, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                    continue
+                refs_self = False
+                for ref in ast.walk(inner):
+                    if ref is inner:
+                        continue
+                    if (isinstance(ref, ast.Name)
+                            and isinstance(ref.ctx, ast.Load)):
+                        if ref.id == inner.name:
+                            yield (inner.lineno,
+                                   f"nested function {inner.name}() "
+                                   f"references itself: the closure cell "
+                                   f"cycle keeps every captured local "
+                                   f"alive until a GC pass (pass the "
+                                   f"callback explicitly instead)")
+                            break
+                        if ref.id == "self":
+                            refs_self = True
+                else:
+                    if refs_self:
+                        captures_self[inner.name] = inner.lineno
+        if not captures_self:
+            continue
+
+        def self_attr(expr: ast.expr) -> bool:
+            return (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self")
+
+        for node in ast.walk(meth):
+            stored: Optional[str] = None
+            if isinstance(node, ast.Assign):
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id in captures_self
+                        and any(self_attr(t) or (
+                            isinstance(t, ast.Subscript)
+                            and self_attr(t.value))
+                            for t in node.targets)):
+                    stored = node.value.id
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in ("append", "add", "insert",
+                                         "register", "on")
+                  and self_attr(node.func.value)):
+                for arg in node.args:
+                    if (isinstance(arg, ast.Name)
+                            and arg.id in captures_self):
+                        stored = arg.id
+                        break
+            if stored is not None:
+                yield (node.lineno,
+                       f"closure {stored}() captures self and is stored "
+                       f"back onto self (reference cycle: self -> "
+                       f"container -> closure -> self; capture the "
+                       f"fields the callback needs instead)")
+
+
 _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS101": _rule_vs101,
     "VS102": _rule_vs102,
@@ -358,7 +456,30 @@ _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS106": _rule_vs106,
     "VS107": _rule_vs107,
     "VS108": _rule_vs108,
+    "VS109": _rule_vs109,
 }
+
+
+def parse_select(spec: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse and validate a comma-separated rule-id selection.
+
+    Returns ``None`` for "run everything" (no selection given).  Raises
+    ``ValueError`` on unknown rule ids or an empty selection — a typo'd
+    ``--select VS999`` must not silently lint nothing and exit green.
+    Both the CLI and the pytest plugin route selections through here, so
+    the two entry points agree on what a selection means.
+    """
+    if spec is None:
+        return None
+    rules = tuple(part.strip() for part in spec.split(",") if part.strip())
+    if not rules:
+        raise ValueError("empty rule selection: nothing would be linted")
+    unknown = [r for r in rules if r not in _RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s): {', '.join(unknown)} "
+            f"(known: {', '.join(_RULES)})")
+    return rules
 
 
 # -- driver ----------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Bounded explicit-state model checking of the shuffle protocols.
+
+The transport layer's flow-control machinery — credit words, credit
+datagrams, FreeArr/ValidArr circular queues — is small enough to verify
+exhaustively at bounded instance sizes.  This package extracts each
+endpoint kind's protocol as a finite transition system (from the same
+policy objects the simulator runs, via their ``model()`` hooks) and
+explores every interleaving of sender, receivers and fabric faults,
+checking deadlock-freedom, credit conservation, ring consistency and
+eventual delivery.  Violations come back as minimal counterexample
+traces, exported in the telemetry layer's Chrome-trace format.
+
+Entry points: ``python -m repro.analysis model`` (CLI), ``pytest
+--repro-model`` (test items), :func:`check_kind` / :func:`check_all`
+(library).
+"""
+
+from repro.analysis.model.checker import (
+    PROPERTIES,
+    CheckResult,
+    PropertyStatus,
+    Witness,
+    check_all,
+    check_kind,
+    check_model,
+)
+from repro.analysis.model.core import (
+    Action,
+    ModelBound,
+    ProtocolModel,
+    parse_bound,
+)
+from repro.analysis.model.explorer import ExploreResult, explore
+from repro.analysis.model.protocols import (
+    CreditProtocolModel,
+    NoProtocolModelError,
+    RingProtocolModel,
+    extract_model,
+    modeled_kinds,
+)
+from repro.analysis.model.trace import (
+    render_counterexample,
+    write_counterexample,
+)
+
+__all__ = [
+    "Action",
+    "CheckResult",
+    "CreditProtocolModel",
+    "ExploreResult",
+    "ModelBound",
+    "NoProtocolModelError",
+    "PROPERTIES",
+    "PropertyStatus",
+    "ProtocolModel",
+    "RingProtocolModel",
+    "Witness",
+    "check_all",
+    "check_kind",
+    "check_model",
+    "explore",
+    "extract_model",
+    "modeled_kinds",
+    "parse_bound",
+    "render_counterexample",
+    "write_counterexample",
+]

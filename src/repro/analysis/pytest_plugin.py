@@ -1,20 +1,31 @@
-"""Pytest collection hook: ``pytest --repro-lint``.
+"""Pytest collection hooks: ``pytest --repro-lint`` / ``--repro-model``.
 
-Adds one synthetic test item that runs the VS1xx static lint over the
-installed ``repro`` package and fails with the full violation listing —
-so the protocol lint gates the same command CI and developers already
-run, without a separate tool invocation.
+``--repro-lint`` adds one synthetic test item running the VS1xx static
+lint over the installed ``repro`` package; ``--repro-lint-select``
+narrows it to specific rules with the same validated semantics as the
+CLI's ``--select`` (both route through
+:func:`repro.analysis.linter.parse_select`, so a typo'd rule id fails
+the run instead of silently linting nothing).
+
+``--repro-model`` adds one item per modeled endpoint kind, each running
+the bounded protocol model checker at the default bound — so protocol
+verification gates the same command CI and developers already run.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import pytest
 
-from repro.analysis.linter import LintViolation, lint_paths, package_root
+from repro.analysis.linter import (
+    LintViolation,
+    lint_paths,
+    package_root,
+    parse_select,
+)
 
-__all__ = ["ReproLintItem"]
+__all__ = ["ReproLintItem", "ReproModelItem"]
 
 
 def pytest_addoption(parser) -> None:
@@ -22,6 +33,14 @@ def pytest_addoption(parser) -> None:
         "--repro-lint", action="store_true", default=False,
         help="also run the repro.analysis static protocol lint "
              "as a test item")
+    parser.addoption(
+        "--repro-lint-select", metavar="RULES", default=None,
+        help="restrict --repro-lint to these comma-separated rule ids "
+             "(same semantics as python -m repro.analysis --select)")
+    parser.addoption(
+        "--repro-model", action="store_true", default=False,
+        help="also run the protocol model checker (one test item per "
+             "modeled endpoint kind, default bound)")
 
 
 class ReproLintFailure(Exception):
@@ -31,8 +50,11 @@ class ReproLintFailure(Exception):
 class ReproLintItem(pytest.Item):
     """One collected item running the whole static lint pass."""
 
+    select: Optional[Tuple[str, ...]] = None
+
     def runtest(self) -> None:
-        violations: List[LintViolation] = lint_paths([package_root()])
+        violations: List[LintViolation] = lint_paths(
+            [package_root()], select=self.select)
         if violations:
             listing = "\n".join(str(v) for v in violations)
             raise ReproLintFailure(
@@ -47,8 +69,56 @@ class ReproLintItem(pytest.Item):
         return self.path, None, "repro-analysis-lint"
 
 
+class ReproModelFailure(Exception):
+    """The protocol model checker found a violated property."""
+
+
+class ReproModelItem(pytest.Item):
+    """One collected item model-checking one endpoint kind."""
+
+    kind: str = "?"
+
+    def runtest(self) -> None:
+        from repro.analysis.model import check_kind
+        result = check_kind(self.kind)
+        if not result.passed:
+            lines = [f"protocol model check failed for {self.kind} at "
+                     f"bound {result.bound.describe()}:"]
+            for prop in result.properties:
+                if not prop.ok:
+                    lines.append(f"  {prop.name}: {prop.status} — "
+                                 f"{prop.detail}")
+                    if prop.witness is not None:
+                        steps = " -> ".join(
+                            a.name for a, _s in prop.witness.steps[1:])
+                        lines.append(f"    counterexample "
+                                     f"({len(prop.witness)} steps): {steps}")
+            raise ReproModelFailure("\n".join(lines))
+
+    def repr_failure(self, excinfo):
+        if isinstance(excinfo.value, ReproModelFailure):
+            return str(excinfo.value)
+        return super().repr_failure(excinfo)
+
+    def reportinfo(self):
+        return self.path, None, f"repro-analysis-model[{self.kind}]"
+
+
 @pytest.hookimpl(trylast=True)
 def pytest_collection_modifyitems(session, config, items) -> None:
     if config.getoption("--repro-lint"):
-        items.append(ReproLintItem.from_parent(
-            session, name="repro-analysis-lint"))
+        try:
+            select = parse_select(config.getoption("--repro-lint-select"))
+        except ValueError as exc:
+            raise pytest.UsageError(f"--repro-lint-select: {exc}") from None
+        item = ReproLintItem.from_parent(
+            session, name="repro-analysis-lint")
+        item.select = select
+        items.append(item)
+    if config.getoption("--repro-model"):
+        from repro.analysis.model import modeled_kinds
+        for kind in modeled_kinds():
+            item = ReproModelItem.from_parent(
+                session, name=f"repro-analysis-model[{kind}]")
+            item.kind = kind
+            items.append(item)

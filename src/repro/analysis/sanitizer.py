@@ -60,6 +60,10 @@ RUNTIME_RULES: Dict[str, str] = {
     "credit-underflow": (
         "sender transmitted past the absolute credit granted by the "
         "receiver (violates the sent <= credit invariant of §4.4)"),
+    "credit-overgrant": (
+        "receiver advertised more credit than Receives it has posted "
+        "(violates the credit <= posted invariant of §4.4 — the sender "
+        "would overrun the receive queue)"),
     "ring-overrun": (
         "circular-queue producer posted more in-flight values than the "
         "remote FreeArr/ValidArr ring has slots"),
@@ -260,6 +264,19 @@ class Sanitizer:
                 f"node {conn.node} but holds credit for {conn.credit}",
                 node_id=ep.ctx.node_id, endpoint=ep.endpoint_id,
                 dest=conn.node, sent=conn.sent, credit=conn.credit)
+
+    def on_credit_issued(self, conn, value: int, node_id: int = -1) -> None:
+        """Called when a receive endpoint advertises absolute credit
+        ``value`` on ``conn`` (credit word or credit datagram)."""
+        if value > conn.posted:
+            if node_id < 0 and conn.qp is not None:
+                node_id = conn.qp.ctx.node_id
+            self.record(
+                "credit-overgrant",
+                f"receiver advertised credit {value} to endpoint "
+                f"{conn.endpoint} with only {conn.posted} Receives posted",
+                node_id=node_id, endpoint=conn.endpoint,
+                value=value, posted=conn.posted)
 
     def on_ring_produce(self, qp, cursor) -> None:
         """A value was produced into the remote ring behind ``cursor``."""

@@ -60,6 +60,23 @@ class ReadRCSendEndpoint(RuntimeSendEndpoint):
 
     transport = "MQ/RD"
 
+    @classmethod
+    def protocol_model(cls, bound):
+        """Model-checker hook: one-sided pull — ValidArr announces full
+        buffers, the receiver joins them with its local window, issues
+        RDMA Reads and returns consumed addresses via FreeArr
+        (Algorithm 3).  Ring caps mirror :attr:`_free_cap` (every pool
+        buffer could be pending, plus slack) at the bound's pool size.
+        """
+        from repro.analysis.model.protocols import RingProtocolModel
+        from repro.verbs.qp import fault_actions
+        cap = bound.sender_buffers + 2
+        return RingProtocolModel(
+            "RD_RC", bound, role="read",
+            valid=RingBoard.model("validarr", cap),
+            free=RingBoard.model("freearr", cap),
+            faults=fault_actions(QPType.RC))
+
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig, destinations: Sequence[int],
                  num_groups: int, peers: Dict[int, int]):

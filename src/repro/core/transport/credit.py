@@ -28,6 +28,7 @@ from repro.verbs.constants import Opcode
 from repro.verbs.wr import RecvWR, SendWR
 
 from repro.core.transport.connections import PeerConnection
+from repro.core.transport.modeling import CreditModel, RingModel
 
 __all__ = [
     "CREDIT_MSG_BYTES",
@@ -64,13 +65,24 @@ def grant_credit(conn: PeerConnection, value: int) -> None:
         conn.notify.notify_all()
 
 
-def post_credit_word(conn: PeerConnection) -> None:
+def post_credit_word(conn: PeerConnection, value: Optional[int] = None) -> None:
     """Receiver half of the §4.4.1 scheme: write the absolute credit
     (Receives posted so far) into the sender's credit word, inlined into
-    the WQE to save the payload DMA fetch [16]."""
+    the WQE to save the payload DMA fetch [16].
+
+    ``value`` defaults to ``conn.posted`` — the only value a correct
+    receiver may advertise.  The parameter exists so the sanitizer can
+    observe (and flag) endpoints that overgrant credit they have no
+    Receives behind.
+    """
+    if value is None:
+        value = conn.posted
+    san = conn.qp.ctx.sanitizer
+    if san is not None:
+        san.on_credit_issued(conn, value)
     conn.qp.post_send(SendWR(
         wr_id=("credit", conn.endpoint), opcode=Opcode.WRITE,
-        remote_addr=conn.credit_addr, value=conn.posted,
+        remote_addr=conn.credit_addr, value=value,
         inline=True, signaled=False,
     ))
 
@@ -80,6 +92,14 @@ class CreditWordBoard:
     written remotely by receivers; arrivals grant credit."""
 
     __slots__ = ("mr",)
+
+    @classmethod
+    def model(cls) -> CreditModel:
+        """Protocol semantics for the model checker: credit words ride
+        inlined RDMA Writes on the data RC QP — lossless and ordered, so
+        no keepalive is needed (§4.4.1)."""
+        return CreditModel(scheme="credit-word", lossy=False,
+                           ordered=True, keepalive=False)
 
     @classmethod
     def install(cls, ep):
@@ -112,6 +132,13 @@ class RingBoard:
 
     __slots__ = ("mr", "cap", "base_by_key", "_regions", "_on_value",
                  "_ep", "name", "validator")
+
+    @classmethod
+    def model(cls, name: str, cap: int) -> RingModel:
+        """Protocol semantics for the model checker: one circular queue
+        of ``cap`` slots whose producer cursor wraps modulo ``cap``
+        (§4.4.3) — more in-flight values than slots is an overrun."""
+        return RingModel(name=name, cap=cap)
 
     @classmethod
     def install(cls, ep, keys: Sequence[Any], cap: int,
@@ -165,6 +192,15 @@ class CreditDatagramPort:
 
     __slots__ = ("ep", "pool", "_cursor")
 
+    @classmethod
+    def model(cls) -> CreditModel:
+        """Protocol semantics for the model checker: credit datagrams
+        ride UD — lossy and unordered, which the absolute values
+        tolerate by construction, backed by the receiver's keepalive
+        re-advertisement (§4.4.2)."""
+        return CreditModel(scheme="credit-datagram", lossy=True,
+                           ordered=False, keepalive=True)
+
     def __init__(self, ep, peer_count: int):
         self.ep = ep
         slots = min(CREDIT_RECV_SLOTS * max(1, peer_count), CREDIT_SLOT_CAP)
@@ -184,14 +220,21 @@ class CreditDatagramPort:
         self.ep.qp.post_recv(RecvWR(wr_id=buf, buffer=buf,
                                     length=CREDIT_MSG_BYTES))
 
-    def post_credit(self, conn: PeerConnection) -> None:
-        """Send ``conn.posted`` as an absolute-credit datagram."""
+    def post_credit(self, conn: PeerConnection,
+                    value: Optional[int] = None) -> None:
+        """Send ``conn.posted`` (or an explicit ``value``, which the
+        sanitizer checks against it) as an absolute-credit datagram."""
         # Imported here: this module loads while repro.core.endpoint is
         # still initialising (endpoint -> transport.rings -> package).
         from repro.core.endpoint import Frame, FrameCarrier
+        if value is None:
+            value = conn.posted
+        san = self.ep.ctx.sanitizer
+        if san is not None:
+            san.on_credit_issued(conn, value, node_id=self.ep.ctx.node_id)
         self._cursor += 1
         frame = Frame(kind="credit", src_endpoint=self.ep.endpoint_id,
-                      credit=conn.posted)
+                      credit=value)
         self.ep.qp.post_send(SendWR(
             wr_id=("credit", conn.endpoint), opcode=Opcode.SEND,
             buffer=FrameCarrier(frame), length=CREDIT_MSG_BYTES,

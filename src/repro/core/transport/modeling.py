@@ -1,0 +1,66 @@
+"""Protocol-semantics descriptors for the model checker.
+
+The flow-control objects of :mod:`repro.core.transport.credit` each
+expose a ``model()`` classmethod returning one of these descriptors — a
+small, frozen statement of the *semantics* the object implements (is the
+credit channel lossy?  ordered?  does a keepalive re-advertise it?  how
+many slots does a ring have?).  :mod:`repro.analysis.model` assembles
+its transition systems from these descriptors plus the live helpers
+(:func:`~repro.core.transport.credit.grant_credit`,
+:class:`~repro.core.transport.connections.PeerConnection`,
+:class:`~repro.core.transport.rings.RingCursor`), so the checked model
+is derived from the same objects the simulator runs — not hand-written
+twice.
+
+This module deliberately has no dependencies beyond the stdlib so both
+the transport layer and the analysis layer can import it freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CreditModel", "RingModel"]
+
+
+@dataclass(frozen=True)
+class CreditModel:
+    """Semantics of one credit-return scheme (§4.4.1-2).
+
+    ``scheme``
+        ``"credit-word"`` (inlined RDMA Write of the absolute credit) or
+        ``"credit-datagram"`` (absolute credit as a small UD datagram).
+    ``lossy``
+        the channel carrying credit (and data) can drop messages — true
+        for UD, where the model checker must explore loss transitions.
+    ``ordered``
+        credit values arrive in posting order (RC Writes on one QP);
+        unordered channels let the checker permute in-flight values.
+    ``keepalive``
+        the receiver periodically re-advertises the absolute credit, so
+        a lost credit message cannot permanently wedge the sender.
+    """
+
+    scheme: str
+    lossy: bool = False
+    ordered: bool = True
+    keepalive: bool = False
+
+
+@dataclass(frozen=True)
+class RingModel:
+    """Semantics of one FreeArr/ValidArr circular queue (§4.4.3).
+
+    ``cap`` is the slot count the producer's
+    :class:`~repro.core.transport.rings.RingCursor` wraps over: more
+    than ``cap`` in-flight (produced but unconsumed) values overwrite a
+    live slot — the ring-overrun the sanitizer flags at runtime and the
+    model checker proves impossible (or finds a trace for).
+    """
+
+    name: str
+    cap: int
+
+    def __post_init__(self) -> None:
+        if self.cap < 1:
+            raise ValueError(f"ring {self.name!r} needs at least one slot")

@@ -65,6 +65,22 @@ class WriteRCSendEndpoint(RuntimeSendEndpoint):
 
     transport = "MQ/WR"
 
+    @classmethod
+    def protocol_model(cls, bound):
+        """Model-checker hook: one-sided push — the sender pops a
+        known-free remote buffer, Writes data then the ValidArr
+        notification (RC ordering hands the buffer over), the receiver
+        returns addresses via FreeArr on release.  Ring caps mirror the
+        ``setup`` formulas (per-link window, plus slack) at the bound's
+        window size."""
+        from repro.analysis.model.protocols import RingProtocolModel
+        from repro.verbs.qp import fault_actions
+        return RingProtocolModel(
+            "WR_RC", bound, role="write",
+            valid=RingBoard.model("validarr", bound.window * 2 + 4),
+            free=RingBoard.model("freearr", bound.window + 2),
+            faults=fault_actions(QPType.RC))
+
     def __init__(self, ctx: VerbsContext, endpoint_id: int,
                  config: EndpointConfig, destinations: Sequence[int],
                  num_groups: int, peers: Dict[int, int]):

@@ -14,7 +14,8 @@ from repro import ClusterConfig, EDR, EndpointConfig
 from repro.analysis import RUNTIME_RULES, Sanitizer, attach_sanitizer
 from repro.core.designs import Design, register_endpoint_kind
 from repro.core.sr_rc import SRRCReceiveEndpoint, SRRCSendEndpoint
-from repro.core.transport.credit import RingBoard
+from repro.core.transport.connections import PeerConnection
+from repro.core.transport.credit import RingBoard, post_credit_word
 from repro.core.transport.rings import RingCursor, post_ring_write
 from repro.fabric import ClusterConfig as FabricClusterConfig
 from repro.fabric import Fabric
@@ -216,6 +217,27 @@ class TestCreditUnderflowRule:
         cfg = EndpointConfig(message_size=1024, buffers_per_connection=4)
         run_stage_query(cluster, "MEMQ/SR", rows_per_node=2000, config=cfg)
         assert rules_of(san) == []
+
+
+class TestCreditOvergrantRule:
+    def test_overgrant_flagged(self, sim):
+        _, ctxs, san = sanitized_cluster(sim)
+        qps, _ = rc_pair(ctxs)
+        word = ctxs[0].reg_mr(8)  # the credit word lives at the sender
+        conn = PeerConnection(0, endpoint=7)
+        conn.qp = qps[1]
+        conn.credit_addr = word.addr
+        conn.posted = 1
+        post_credit_word(conn)  # advertises exactly `posted`: clean
+        assert rules_of(san) == []
+        # A receiver advertising credit it has no Receives behind would
+        # let the sender overrun the receive queue (§4.4 invariant).
+        post_credit_word(conn, conn.posted + 2)
+        assert rules_of(san) == ["credit-overgrant"]
+        violation = san.violations[0]
+        assert violation.details["value"] == 3
+        assert violation.details["posted"] == 1
+        assert violation.details["endpoint"] == 7
 
 
 class TestRingRules:
