@@ -25,8 +25,8 @@ from repro.telemetry.session import format_digest, session
 __all__ = ["main"]
 
 #: version of the ``--json`` result document layout.
-#: v4 records the ``--nodes`` override in the document header.
-RESULTS_SCHEMA_VERSION = 4
+#: v5 records the ``--tenants`` override in the document header.
+RESULTS_SCHEMA_VERSION = 5
 
 
 def main(argv=None) -> int:
@@ -48,6 +48,10 @@ def main(argv=None) -> int:
                              "experiments run at N nodes, node-count "
                              "sweeps collapse to N, and fig10-scaleout "
                              "truncates its 64..1024 sweep at N")
+    parser.add_argument("--tenants", type=int, default=3, metavar="N",
+                        help="tenant count for the service experiments "
+                             "(svc-*): one MESQ/SR victim plus N-1 "
+                             "MEMQ/SR aggressors (default 3)")
     parser.add_argument("--topology", metavar="SPEC", default=None,
                         help="switch topology for every simulated cluster: "
                              "single-switch (default), leaf-spine[:K[:M]] "
@@ -84,6 +88,8 @@ def main(argv=None) -> int:
 
     if args.nodes is not None and args.nodes < 2:
         parser.error("--nodes must be >= 2 (shuffles need a peer)")
+    if args.tenants < 2:
+        parser.error("--tenants must be >= 2 (a victim and an aggressor)")
 
     if args.topology:
         from repro.fabric.config import parse_topology, set_default_topology
@@ -127,8 +133,10 @@ def _run(args, parser) -> int:
                  report=args.report is not None) as sess:
         for name in names:
             start = time.time()
-            results = ALL_EXPERIMENTS[name](scale=args.scale,
-                                            nodes=args.nodes)
+            kwargs = {"scale": args.scale, "nodes": args.nodes}
+            if name.startswith("svc"):
+                kwargs["tenants"] = args.tenants
+            results = ALL_EXPERIMENTS[name](**kwargs)
             digest = sess.checkpoint(name)
             if digest["runs"]:
                 line = format_digest(digest)
@@ -152,6 +160,7 @@ def _run(args, parser) -> int:
                            "version": RESULTS_SCHEMA_VERSION},
                 "scale": args.scale,
                 "nodes": args.nodes,
+                "tenants": args.tenants,
                 "topology": args.topology or "single-switch",
                 "experiments": experiments_out,
             }

@@ -37,7 +37,7 @@ from repro.tpch import generate, run_query
 
 __all__ = [
     "fig8", "fig9", "fig10", "fig10_scaleout", "fig11", "fig12", "fig13",
-    "fig14a", "fig14_scaling", "table1", "abl_oversub",
+    "fig14a", "fig14_scaling", "table1", "abl_oversub", "svc_tenants",
     "ALL_EXPERIMENTS",
 ]
 
@@ -584,6 +584,148 @@ def abl_oversub(network: NetworkConfig = EDR, nodes: int = 8,
     )
 
 
+# -- Multi-tenant service ablation ----------------------------------------------------
+
+
+def _svc_run(network: NetworkConfig, nodes: int, threads: int,
+             specs, quota_caps, seed: int, qp_cache_entries: int):
+    """One service run; returns the per-tenant rollup."""
+    # Imported lazily: the service layer sits above bench's usual deps.
+    from repro.service import (
+        FairSharePolicy,
+        QuotaManager,
+        ServiceConfig,
+        ShuffleService,
+    )
+    config = ClusterConfig(
+        network=network, num_nodes=nodes, threads_per_node=threads,
+        seed=seed).with_network(qp_cache_entries=qp_cache_entries)
+    cluster = Cluster(config)
+    quotas = None
+    if quota_caps:
+        quotas = QuotaManager()
+        for tenant, max_qps in quota_caps.items():
+            quotas.set_quota(tenant, max_qps=max_qps)
+    service = ShuffleService(
+        cluster, specs, policy=FairSharePolicy(), quotas=quotas,
+        config=ServiceConfig(max_concurrent=len(specs) + 1, seed=seed))
+    report = service.run()
+    cluster.dispose()
+    return report["tenants"]
+
+
+def svc_tenants(network: NetworkConfig = FDR, nodes: int = 8,
+                tenants: int = 3, threads: int = 4, scale: float = 1.0,
+                load_factors: Sequence[float] = (0.5, 1.0, 2.0),
+                qp_cache_entries: int = 64,
+                seed: int = 1) -> ExperimentResult:
+    """Isolation vs sharing on one fabric (the service-shape ablation).
+
+    A MESQ/SR *victim* tenant shares the cluster with ``tenants - 1``
+    MQ-style *aggressors* (MEMQ/SR, one endpoint per thread): each
+    aggressor job creates O(n*t) Queue Pairs that thrash the NIC's
+    QP-context cache — the Fig 10/11 degradation mechanism, now
+    cross-tenant.  The x axis scales the tenants' open-loop offered
+    load; for every point the victim's p50/p99 job latency is measured
+    three ways: running *solo*, *shared* with the aggressors, and
+    shared with per-tenant QP quotas that clamp each aggressor to a
+    single-endpoint footprint.
+
+    Runs on the FDR-era NIC with its context cache shrunk to
+    ``qp_cache_entries`` so the simulated working set (n=8 rather than
+    the paper's 16+ nodes) still overflows it, like the real 144-entry
+    ConnectX-3 cache does at scale.
+    """
+    from repro.service import estimate_footprint
+
+    victim = "tenant-a"
+    aggressors = [f"tenant-{chr(ord('b') + i)}" for i in range(tenants - 1)]
+    bytes_per_job = max(2 * MIB, int(8 * MIB * scale))
+    jobs = 4 if scale >= 0.25 else 2
+    base_gap_ns = 30_000_000
+
+    def specs_for(names_designs, gap_ns):
+        from repro.service import TenantSpec
+        return [
+            TenantSpec(name=name, design=design,
+                       bytes_per_job=bytes_per_job,
+                       mean_interarrival_ns=gap_ns, jobs=jobs)
+            for name, design in names_designs
+        ]
+
+    aggressor_cap = estimate_footprint(
+        "MEMQ/SR", nodes, threads, num_endpoints=1).qps
+
+    labels = {}
+    for mode in ("solo", "shared", "quota"):
+        for q in ("p50", "p99"):
+            labels[(mode, "victim", q)] = []
+        if mode != "solo":
+            labels[(mode, "aggressor", "p99")] = []
+    miss_notes = []
+
+    for factor in load_factors:
+        gap_ns = max(1, int(base_gap_ns / factor))
+        solo = _svc_run(network, nodes, threads,
+                        specs_for([(victim, "MESQ/SR")], gap_ns),
+                        None, seed, qp_cache_entries)
+        mixed = [(victim, "MESQ/SR")] + [(a, "MEMQ/SR") for a in aggressors]
+        shared = _svc_run(network, nodes, threads,
+                          specs_for(mixed, gap_ns),
+                          None, seed, qp_cache_entries)
+        quota = _svc_run(network, nodes, threads,
+                         specs_for(mixed, gap_ns),
+                         {a: aggressor_cap for a in aggressors},
+                         seed, qp_cache_entries)
+        for mode, rollup in (("solo", solo), ("shared", shared),
+                             ("quota", quota)):
+            lat = rollup[victim]["latency_ns"]
+            for q in ("p50", "p99"):
+                labels[(mode, "victim", q)].append(
+                    lat.get(q, 0.0) / 1e6)
+            if mode != "solo":
+                worst = max(
+                    rollup[a]["latency_ns"].get("p99", 0.0)
+                    for a in aggressors)
+                labels[(mode, "aggressor", "p99")].append(worst / 1e6)
+        if factor == load_factors[-1]:
+            shared_deg = (labels[("shared", "victim", "p99")][-1] /
+                          max(1e-9, labels[("solo", "victim", "p99")][-1]))
+            quota_deg = (labels[("quota", "victim", "p99")][-1] /
+                         max(1e-9, labels[("solo", "victim", "p99")][-1]))
+            shared_misses = sum(
+                shared[a]["qp_cache_misses"] for a in aggressors)
+            quota_misses = sum(
+                quota[a]["qp_cache_misses"] for a in aggressors)
+            miss_notes.append(
+                f"victim p99 degradation at load x{factor:g}: "
+                f"{shared_deg:.2f}x shared, {quota_deg:.2f}x with quotas; "
+                f"aggressor cache misses {shared_misses} -> {quota_misses}")
+
+    series = [
+        Series("victim p50 (solo)", labels[("solo", "victim", "p50")]),
+        Series("victim p99 (solo)", labels[("solo", "victim", "p99")]),
+        Series("victim p50 (shared)", labels[("shared", "victim", "p50")]),
+        Series("victim p99 (shared)", labels[("shared", "victim", "p99")]),
+        Series("victim p50 (quota)", labels[("quota", "victim", "p50")]),
+        Series("victim p99 (quota)", labels[("quota", "victim", "p99")]),
+        Series("aggressor p99 (shared)",
+               labels[("shared", "aggressor", "p99")]),
+        Series("aggressor p99 (quota)",
+               labels[("quota", "aggressor", "p99")]),
+    ]
+    return ExperimentResult(
+        experiment=f"svc-tenants-{network.name}",
+        title=f"Tenant isolation vs sharing ({network.name}, {nodes} "
+              f"nodes, {tenants} tenants, {qp_cache_entries}-entry QP "
+              "cache)",
+        x_label="offered load (x base rate)", x=list(load_factors),
+        y_label="job latency (ms)", series=series,
+        notes=f"MESQ/SR victim + {tenants - 1}x MEMQ/SR aggressors, "
+              f"fair-share, {jobs} jobs/tenant; " + "; ".join(miss_notes),
+    )
+
+
 # -- Table 1 ---------------------------------------------------------------------------
 
 
@@ -657,4 +799,6 @@ ALL_EXPERIMENTS = {
     "table1": lambda scale=1.0, nodes=None: [table1(nodes=_n(nodes, 16))],
     "abl-oversub": lambda scale=1.0, nodes=None: [abl_oversub(
         nodes=_n(nodes, 8), scale=scale)],
+    "svc-tenants": lambda scale=1.0, nodes=None, tenants=3: [svc_tenants(
+        nodes=_n(nodes, 8), tenants=tenants, scale=scale)],
 }

@@ -42,6 +42,8 @@ class Cluster:
         ]
         self.registry = EndpointRegistry()
         self.sanitizer = None
+        self.quotas = None
+        self._disposed = False
         if session is not None and getattr(session, "sanitize", False):
             self.enable_sanitizer()
 
@@ -64,6 +66,23 @@ class Cluster:
         if active is not None:
             active.register_sanitizer(self.sanitizer)
         return self.sanitizer
+
+    def enable_quotas(self, manager):
+        """Install a per-tenant resource arbiter on this cluster's fabric.
+
+        ``manager`` is duck-typed (see :class:`repro.service.QuotaManager`):
+        the verbs layer calls its ``on_qp_created`` / ``on_qp_destroyed`` /
+        ``on_mr_registered`` / ``on_mr_deregistered`` hooks for every
+        tenant-tagged resource.  Idempotent for the same manager;
+        installing a different one replaces it.
+        """
+        self.quotas = manager
+        self.fabric.quotas = manager
+        return manager
+
+    @property
+    def disposed(self) -> bool:
+        return self._disposed
 
     @property
     def num_nodes(self) -> int:
@@ -89,7 +108,14 @@ class Cluster:
         counting reclaim the bulk; a subsequent ``gc.collect()`` only
         has to sweep the small cyclic remainder.  The cluster is
         unusable afterwards.
+
+        Idempotent: the scheduler tears down many short-lived clusters
+        and error paths may dispose twice.  Running a disposed cluster
+        raises :class:`RuntimeError` (see :meth:`run` / :meth:`run_process`).
         """
+        if self._disposed:
+            return
+        self._disposed = True
         for ctx in self.contexts:
             ctx.dispose()
         self.contexts.clear()
@@ -128,8 +154,16 @@ class Cluster:
         kwargs.setdefault("registry", self.registry)
         return ShuffleStage(self.fabric, design, groups, **kwargs)
 
+    def _check_usable(self) -> None:
+        if self._disposed:
+            raise RuntimeError(
+                "cluster has been disposed; build a new Cluster for a "
+                "fresh run")
+
     def run(self, until=None) -> int:
+        self._check_usable()
         return self.sim.run(until)
 
     def run_process(self, generator, name: str = ""):
+        self._check_usable()
         return self.sim.run_process(generator, name=name)

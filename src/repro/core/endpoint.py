@@ -100,6 +100,9 @@ class EndpointConfig:
     #: by this factor for UD endpoints; pinned memory stays far below the
     #: RC designs' (Fig 9b).
     ud_window_factor: int = 4
+    #: owning tenant of this endpoint's resources (multi-tenant service
+    #: accounting and quota enforcement); None outside the service.
+    tenant: Optional[str] = None
 
     def __post_init__(self):
         if self.message_size < 64:

@@ -89,7 +89,8 @@ class ReadRCSendEndpoint(RuntimeSendEndpoint):
         self.cq = self.ctx.create_cq()
         for dest in self.destinations:
             conn = self.conns.add(dest, PeerConnection(dest))
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
         # Reserve one extra buffer per destination for the final markers.
         yield from self.provision_send_pool(extra=len(self.destinations))
         for dest, buf in zip(self.destinations,
@@ -186,7 +187,8 @@ class ReadRCReceiveEndpoint(RuntimeReceiveEndpoint):
         next_buffer = 0
         for src_node, src_ep in self.sources:
             conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
             #: LocalArr: unused registered destination buffers (a stack).
             conn.local_arr = []
             conn.pending_remote = deque()

@@ -68,7 +68,8 @@ class SRRCSendEndpoint(CreditedSendEndpoint):
         for dest in self.destinations:
             conn = self.conns.add(dest, PeerConnection(dest))
             conn.notify = Notify(self.sim)
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
         yield from self.provision_send_pool()
         # One credit word per destination, written remotely by receivers.
         addr_by_dest = yield from CreditWordBoard.install(self)
@@ -115,7 +116,8 @@ class SRRCReceiveEndpoint(CreditedReceiveEndpoint):
         next_buffer = 0
         for src_node, src_ep in self.sources:
             conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
             for _ in range(per_link):
                 buf = self.pool.buffers[next_buffer]
                 next_buffer += 1

@@ -93,7 +93,8 @@ class SRUDSendEndpoint(CreditedSendEndpoint):
         # (8 slots x 1023 peers overflows 4096 at mesoscale).
         self.qp = self.ctx.create_qp(
             QPType.UD, self.cq, self.cq,
-            max_recv_wr=self.ctx.config.max_qp_depth)
+            max_recv_wr=self.ctx.config.max_qp_depth,
+            tenant=self.config.tenant)
         yield from setup_ud_qp(self.ctx, self.qp)
         for dest in self.destinations:
             conn = self.conns.add(dest, PeerConnection(dest))
@@ -166,7 +167,8 @@ class SRUDReceiveEndpoint(CreditedReceiveEndpoint):
         # the device-limit depth so mesoscale source counts fit.
         self.qp = self.ctx.create_qp(
             QPType.UD, self.cq, self.cq,
-            max_recv_wr=self.ctx.config.max_qp_depth)
+            max_recv_wr=self.ctx.config.max_qp_depth,
+            tenant=self.config.tenant)
         yield from setup_ud_qp(self.ctx, self.qp)
         per_link = self.config.buffers_per_link
         yield from self.provision_recv_pool()

@@ -88,6 +88,7 @@ class ShuffleStage:
             threads_per_endpoint=threads_per_ep,
             drain_timeout_ns=base.drain_timeout_ns,
             ud_window_factor=base.ud_window_factor,
+            tenant=base.tenant,
         )
 
         self.receiver_nodes = tuple(sorted({
@@ -136,6 +137,7 @@ class ShuffleStage:
 
         #: per-node connection build time, filled in by :meth:`setup`.
         self.setup_ns: Dict[int, int] = {}
+        self._disposed = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -172,6 +174,36 @@ class ShuffleStage:
         for node, p1, end in zip(nodes, phase1_ns, ends):
             self.setup_ns[node] = p1 + (end - mid)
         return self.setup_ns
+
+    def dispose(self) -> None:
+        """Tear down this stage's transport resources (idempotent).
+
+        Destroys every Queue Pair (evicting its NIC-cached context),
+        deregisters the stage's pinned memory, releases completion
+        queues, and unpublishes the endpoints from the registry — the
+        per-job teardown the multi-tenant service relies on to reuse one
+        cluster for a stream of jobs.  The stage must be quiesced: call
+        only after the job's fragments have completed (plus a drain
+        grace if other jobs keep the simulation running).
+        """
+        if self._disposed:
+            return
+        self._disposed = True
+        nodes = sorted(set(self.sender_nodes) | set(self.receiver_nodes))
+        for node in nodes:
+            ctx = self.fabric.verbs_contexts.get(node)
+            if ctx is None:
+                continue
+            for ep in self._node_endpoints(node):
+                for qp in {qp.qpn: qp for qp in ep.qps()}.values():
+                    ctx.destroy_qp(qp)
+                for mr in ep.registered_regions():
+                    if not mr.deregistered:
+                        ctx.dereg_mr(mr)
+                cq = getattr(ep, "cq", None)
+                if cq is not None:
+                    ctx.release_cq(cq)
+                self.registry.unpublish_endpoint(ep.endpoint_id)
 
     @property
     def max_setup_ns(self) -> int:

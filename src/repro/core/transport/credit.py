@@ -107,7 +107,8 @@ class CreditWordBoard:
         destination), wire the write hook, and return the per-destination
         address map for the bootstrap exchange."""
         board = cls()
-        board.mr = yield from ep.ctx.reg_mr_timed(8 * len(ep.destinations))
+        board.mr = yield from ep.ctx.reg_mr_timed(
+            8 * len(ep.destinations), tenant=ep.config.tenant)
         addr_by_dest = {}
         conns = []
         for i, dest in enumerate(ep.destinations):
@@ -161,7 +162,10 @@ class RingBoard:
         board.name = name
         board.validator = validator
         count = max(1, len(keys)) if min_one else len(keys)
-        board.mr = yield from ep.ctx.reg_mr_timed(8 * cap * count)
+        # Test doubles install boards on bare namespaces with no config.
+        tenant = getattr(getattr(ep, "config", None), "tenant", None)
+        board.mr = yield from ep.ctx.reg_mr_timed(
+            8 * cap * count, tenant=tenant)
         board.base_by_key = {}
         board._regions: List[Tuple[int, int, Any]] = []
         for i, key in enumerate(keys):
@@ -204,7 +208,8 @@ class CreditDatagramPort:
     def __init__(self, ep, peer_count: int):
         self.ep = ep
         slots = min(CREDIT_RECV_SLOTS * max(1, peer_count), CREDIT_SLOT_CAP)
-        self.pool = BufferPool(ep.ctx, slots, CREDIT_MSG_BYTES)
+        self.pool = BufferPool(ep.ctx, slots, CREDIT_MSG_BYTES,
+                               tenant=ep.config.tenant)
         self._cursor = 0
         ep.aux_pools.append(self.pool)
 

@@ -57,12 +57,13 @@ class BufferRing:
         self.pool: Optional[BufferPool] = None
 
     def provision(self, count: int, size: int,
-                  feed: Optional[int] = None) -> Any:
+                  feed: Optional[int] = None,
+                  tenant: Optional[str] = None) -> Any:
         """Process fragment: charge registration for ``count * size``
         bytes, carve the pool, and feed the first ``feed`` buffers
         (default: all) to the free list."""
         yield from charge_registration(self.ctx, count * size)
-        self.pool = BufferPool(self.ctx, count, size)
+        self.pool = BufferPool(self.ctx, count, size, tenant=tenant)
         for buf in self.pool.buffers[:count if feed is None else feed]:
             self.free.put(buf)
         return self.pool

@@ -95,7 +95,8 @@ class RuntimeSendEndpoint(SendEndpoint):
         feed the non-reserved buffers to the GETFREE free list."""
         total = self.send_pool_buffers + extra
         yield from self._charge_registration(total * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total, self.config.message_size)
+        self.pool = BufferPool(self.ctx, total, self.config.message_size,
+                               tenant=self.config.tenant)
         for buf in self.pool.buffers[:self.send_pool_buffers]:
             self._free.put(buf)
         return self.pool
@@ -197,7 +198,8 @@ class RuntimeReceiveEndpoint(ReceiveEndpoint):
         """Process fragment: charge registration and carve the pool."""
         total = self.recv_pool_buffers
         yield from self._charge_registration(total * self.config.message_size)
-        self.pool = BufferPool(self.ctx, total, self.config.message_size)
+        self.pool = BufferPool(self.ctx, total, self.config.message_size,
+                               tenant=self.config.tenant)
         return self.pool
 
 

@@ -95,7 +95,8 @@ class WriteRCSendEndpoint(RuntimeSendEndpoint):
         self.cq = self.ctx.create_cq()
         for dest in self.destinations:
             conn = self.conns.add(dest, PeerConnection(dest))
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
             conn.notify = Notify(self.sim)
             #: addresses of free buffers at the receiver (LIFO).
             conn.remote_free = []
@@ -198,7 +199,8 @@ class WriteRCReceiveEndpoint(RuntimeReceiveEndpoint):
         next_buffer = 0
         for src_node, src_ep in self.sources:
             conn = self.conns.add(src_ep, PeerConnection(src_node, src_ep))
-            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq)
+            conn.qp = self.ctx.create_qp(QPType.RC, self.cq, self.cq,
+                                         tenant=self.config.tenant)
             addrs = []
             for _ in range(per_link):
                 addrs.append(self.pool.buffers[next_buffer].addr)

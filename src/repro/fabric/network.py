@@ -92,6 +92,12 @@ class Fabric:
         #: runtime sanitizer; ``None`` unless Cluster.enable_sanitizer()
         #: (or repro.analysis.sanitizer.attach_sanitizer) installed one.
         self.sanitizer: Optional[Any] = None
+        #: per-tenant resource arbiter; ``None`` unless
+        #: Cluster.enable_quotas() installed one.  Duck-typed like the
+        #: sanitizer hook: the verbs layer calls ``on_qp_created`` /
+        #: ``on_qp_destroyed`` / ``on_mr_registered`` /
+        #: ``on_mr_deregistered`` without importing the service layer.
+        self.quotas: Optional[Any] = None
         #: causal link recorder, mirrored here by Telemetry.enable_links()
         #: so the routing walkers can record trunk occupancy without an
         #: attribute chase; None keeps recording a single branch.

@@ -33,7 +33,7 @@ recording cannot perturb event order.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.sim import Event, RatePipe, Simulator
 
@@ -116,12 +116,19 @@ class NIC:
         #: causal link recorder (repro.telemetry.links), installed by
         #: Telemetry.enable_links(); None keeps the hot path branch-only.
         self.links = None
+        #: optional per-QPN context-miss counter, installed by the service
+        #: layer for tenant attribution (QPNs are never reused, so misses
+        #: can be rolled up per job after the fact).  ``None`` keeps the
+        #: hot path a single branch.
+        self.qp_miss_by_qpn: Optional[Dict[int, int]] = None
 
     def _qp_touch_penalty(self, qpn: int) -> int:
         if self.disable_qp_cache:
             return 0
         if self.qp_cache.touch(qpn):
             return 0
+        if self.qp_miss_by_qpn is not None:
+            self.qp_miss_by_qpn[qpn] = self.qp_miss_by_qpn.get(qpn, 0) + 1
         self.pcie_stall_ns += self.config.qp_cache_miss_ns
         return self.config.qp_cache_miss_ns
 

@@ -9,7 +9,7 @@ accounting of Fig 9(b) meaningful.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.verbs.device import VerbsContext
 from repro.verbs.memory import MemoryRegion
@@ -91,14 +91,15 @@ class Buffer:
 class BufferPool:
     """A set of equal-size buffers carved from one registered region."""
 
-    def __init__(self, ctx: VerbsContext, count: int, size: int):
+    def __init__(self, ctx: VerbsContext, count: int, size: int,
+                 tenant: Optional[str] = None):
         if count < 1:
             raise ValueError(f"buffer count must be >= 1, got {count}")
         if size < 1:
             raise ValueError(f"buffer size must be >= 1, got {size}")
         self.ctx = ctx
         self.size = size
-        self.mr = ctx.reg_mr(count * size)
+        self.mr = ctx.reg_mr(count * size, tenant=tenant)
         self.buffers: List[Buffer] = [
             Buffer(self.mr, self.mr.addr + i * size, size) for i in range(count)
         ]

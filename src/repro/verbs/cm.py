@@ -57,6 +57,11 @@ class EndpointRegistry:
         """Resolve the bootstrap info published for an endpoint id."""
         return self.lookup(("ep", endpoint_id))
 
+    def unpublish_endpoint(self, endpoint_id: int) -> None:
+        """Forget one endpoint's bootstrap info (end-of-job teardown in
+        the multi-tenant service; a no-op for unknown ids)."""
+        self._published.pop(("ep", endpoint_id), None)
+
     def __contains__(self, endpoint_id: Any) -> bool:
         return endpoint_id in self._published
 

@@ -8,7 +8,7 @@ resolves remote contexts for the transport state machines.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.fabric.network import Fabric
 from repro.sim import Simulator
@@ -44,6 +44,12 @@ class VerbsContext:
         #: cumulative simulated time spent pinning/registering memory.
         self.mr_register_ns = 0
         fabric.verbs_contexts[node_id] = self
+
+    @property
+    def quotas(self):
+        """The per-tenant resource arbiter, or None (dynamic: quotas may
+        be enabled on the fabric after this context was created)."""
+        return self.fabric.quotas
 
     @property
     def telemetry(self):
@@ -94,11 +100,47 @@ class VerbsContext:
 
     def create_qp(self, qp_type: QPType, send_cq: CompletionQueue,
                   recv_cq: CompletionQueue, max_send_wr: int = 1024,
-                  max_recv_wr: int = 4096) -> QueuePair:
+                  max_recv_wr: int = 4096,
+                  tenant: Optional[str] = None) -> QueuePair:
         """``ibv_create_qp``.  Control-path time is charged by the caller
-        (see :mod:`repro.verbs.cm`), keeping this immediate for tests."""
-        return QueuePair(self, qp_type, send_cq, recv_cq,
-                         max_send_wr, max_recv_wr)
+        (see :mod:`repro.verbs.cm`), keeping this immediate for tests.
+
+        ``tenant`` tags the QP for service-layer accounting; when a quota
+        arbiter is installed on the fabric it may refuse the creation by
+        raising, in which case the QP is rolled back before propagating.
+        """
+        qp = QueuePair(self, qp_type, send_cq, recv_cq,
+                       max_send_wr, max_recv_wr)
+        qp.tenant = tenant
+        quotas = self.fabric.quotas
+        if quotas is not None:
+            try:
+                quotas.on_qp_created(self.node_id, tenant, qp)
+            except Exception:
+                del self._qps[qp.qpn]
+                self.qps_created -= 1
+                raise
+        return qp
+
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """``ibv_destroy_qp``: drop the QP and its cached NIC context.
+
+        Used by end-of-job teardown in the multi-tenant service; the QP
+        must be quiesced (no completions in flight).
+        """
+        self._qps.pop(qp.qpn, None)
+        qp.send_cq = None
+        qp.recv_cq = None
+        self.nic.qp_cache.evict(qp.qpn)
+        quotas = self.fabric.quotas
+        if quotas is not None:
+            quotas.on_qp_destroyed(self.node_id, qp.tenant, qp)
+
+    def release_cq(self, cq: CompletionQueue) -> None:
+        """Drop a completion queue created by :meth:`create_cq`."""
+        if cq in self._cqs:
+            self._cqs.remove(cq)
+            cq.dispose()
 
     def qp(self, qpn: int) -> QueuePair:
         try:
@@ -123,11 +165,26 @@ class VerbsContext:
 
     # -- memory registration -------------------------------------------------
 
-    def reg_mr(self, length: int) -> MemoryRegion:
-        """Register ``length`` bytes (immediate; no time charged)."""
-        return self.memory.register(length)
+    def reg_mr(self, length: int,
+               tenant: Optional[str] = None) -> MemoryRegion:
+        """Register ``length`` bytes (immediate; no time charged).
 
-    def reg_mr_timed(self, length: int):
+        ``tenant`` tags the region for service-layer accounting; an
+        installed quota arbiter may refuse the registration by raising,
+        in which case the region is rolled back before propagating.
+        """
+        mr = self.memory.register(length)
+        mr.tenant = tenant
+        quotas = self.fabric.quotas
+        if quotas is not None:
+            try:
+                quotas.on_mr_registered(self.node_id, tenant, mr)
+            except Exception:
+                self.memory.deregister(mr)
+                raise
+        return mr
+
+    def reg_mr_timed(self, length: int, tenant: Optional[str] = None):
         """Process fragment: register memory, charging pin time.
 
         Usage: ``mr = yield from ctx.reg_mr_timed(nbytes)``.
@@ -137,16 +194,19 @@ class VerbsContext:
         cost = config.mr_register_base_ns + pages * config.mr_register_ns_per_page
         self.mr_register_ns += cost
         yield self.sim.timeout(cost)
-        return self.memory.register(length)
+        return self.reg_mr(length, tenant=tenant)
 
     def dereg_mr(self, mr: MemoryRegion) -> None:
         self.memory.deregister(mr)
+        quotas = self.fabric.quotas
+        if quotas is not None:
+            quotas.on_mr_deregistered(self.node_id, mr.tenant, mr)
 
     def dereg_mr_timed(self, mr: MemoryRegion):
         """Process fragment: deregister memory, charging unpin time."""
         pages = max(1, -(-mr.length // self.config.page_size))
         yield self.sim.timeout(pages * self.config.mr_deregister_ns_per_page)
-        self.memory.deregister(mr)
+        self.dereg_mr(mr)
 
     # -- accounting ------------------------------------------------------------
 

@@ -48,6 +48,9 @@ class MemoryRegion:
         self.on_write: list = []
         #: runtime sanitizer hook; ``None`` keeps every access zero-cost.
         self.sanitizer: Optional[Any] = None
+        #: owning tenant (service-layer accounting); None outside the
+        #: multi-tenant service.
+        self.tenant: Optional[str] = None
 
     def _check(self, addr: int, nbytes: int = 1) -> None:
         if self.deregistered:

@@ -77,6 +77,9 @@ class QueuePair:
         self.max_send_wr = max_send_wr
         self.max_recv_wr = max_recv_wr
         self.qpn = ctx._assign_qpn(self)
+        #: owning tenant (service-layer accounting); None outside the
+        #: multi-tenant service.
+        self.tenant: Optional[str] = None
         self.state = QPState.INIT
         self._peer: Optional[AddressHandle] = None
         # RC receives queue up and Sends block on them (RNR); the FIFO

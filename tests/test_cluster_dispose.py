@@ -1,0 +1,48 @@
+"""Cluster.dispose() lifecycle: idempotence and use-after-dispose."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR, TransmissionGroups
+
+
+def make_cluster(nodes=3, threads=2):
+    return Cluster(ClusterConfig(network=EDR, num_nodes=nodes,
+                                 threads_per_node=threads))
+
+
+def test_dispose_is_idempotent():
+    cluster = make_cluster()
+    assert not cluster.disposed
+    cluster.dispose()
+    assert cluster.disposed
+    cluster.dispose()  # second call is a no-op, not an error
+    assert cluster.disposed
+
+
+def test_dispose_after_real_run():
+    cluster = make_cluster()
+    stage = cluster.shuffle_stage(
+        "MESQ/SR", TransmissionGroups.repartition(cluster.num_nodes))
+    cluster.run_process(stage.setup(), name="setup")
+    stage.dispose()
+    cluster.dispose()
+    cluster.dispose()
+    assert cluster.disposed
+
+
+def test_run_after_dispose_raises():
+    cluster = make_cluster()
+    cluster.dispose()
+    with pytest.raises(RuntimeError, match="disposed"):
+        cluster.run()
+
+
+def test_run_process_after_dispose_raises():
+    cluster = make_cluster()
+    cluster.dispose()
+
+    def nop():
+        yield cluster.sim.timeout(1)
+
+    with pytest.raises(RuntimeError, match="disposed"):
+        cluster.run_process(nop(), name="nop")
