@@ -64,6 +64,11 @@ STATIC_RULES: Dict[str, str] = {
         "callback capturing itself or stored onto the object it "
         "captures creates a reference cycle the event loop keeps "
         "alive — the _HopWalk leak class)"),
+    "VS110": (
+        "raw design-string dispatch (DESIGNS[...] / DESIGNS.get) "
+        "outside the policy layer (go through resolve_design or a "
+        "StagePlan so eager validation and policy planning stay the "
+        "single dispatch path)"),
 }
 
 
@@ -109,9 +114,11 @@ def _in_scope(rel: str, prefixes: Sequence[str],
 
 def _rule_vs101(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
     """Endpoint code touching fabric/NIC internals (VS101)."""
-    # The stage wiring legitimately builds on the Fabric; everything else
-    # under core/ must speak verbs only.
-    if not _in_scope(rel, ("core/",), exclude=("core/stage.py",)):
+    # The stage wiring legitimately builds on the Fabric, and the policy
+    # layer reads cluster/fabric telemetry to plan stages; everything
+    # else under core/ must speak verbs only.
+    if not _in_scope(rel, ("core/",),
+                     exclude=("core/stage.py", "core/policy.py")):
         return
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom) and node.module:
@@ -447,6 +454,41 @@ def _rule_vs109(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
                        f"fields the callback needs instead)")
 
 
+#: the only modules that may dispatch on raw design strings: the design
+#: registry itself and the policy layer built directly on it.
+_VS110_ALLOWED = ("core/designs.py", "core/policy.py")
+
+
+def _rule_vs110(rel: str, tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Raw design-string dispatch outside the policy layer (VS110).
+
+    ``DESIGNS[name]`` (or ``DESIGNS.get(name)``) scattered through the
+    tree is how the pre-policy code wired a design choice to a stage:
+    unvalidated strings flowed through three layers before a KeyError
+    surfaced deep in stage setup.  Everything outside the registry and
+    the policy layer must resolve through
+    :func:`repro.core.designs.resolve_design` (eager, with a helpful
+    error) or receive a planned :class:`~repro.core.policy.StagePlan`.
+    """
+    if not rel.endswith(".py") or rel in _VS110_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "DESIGNS"):
+            yield (node.lineno,
+                   "DESIGNS[...] subscript outside the policy layer "
+                   "(use resolve_design() or pass a StagePlan)")
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "get"
+              and isinstance(node.func.value, ast.Name)
+              and node.func.value.id == "DESIGNS"):
+            yield (node.lineno,
+                   "DESIGNS.get(...) outside the policy layer "
+                   "(use resolve_design() or pass a StagePlan)")
+
+
 _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS101": _rule_vs101,
     "VS102": _rule_vs102,
@@ -457,6 +499,7 @@ _RULES: Dict[str, Callable[[str, ast.AST], Iterable[Tuple[int, str]]]] = {
     "VS107": _rule_vs107,
     "VS108": _rule_vs108,
     "VS109": _rule_vs109,
+    "VS110": _rule_vs110,
 }
 
 

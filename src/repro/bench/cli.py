@@ -26,7 +26,8 @@ __all__ = ["main"]
 
 #: version of the ``--json`` result document layout.
 #: v5 records the ``--tenants`` override in the document header.
-RESULTS_SCHEMA_VERSION = 5
+#: v6 records the ``--policy`` selection in the document header.
+RESULTS_SCHEMA_VERSION = 6
 
 
 def main(argv=None) -> int:
@@ -52,6 +53,11 @@ def main(argv=None) -> int:
                         help="tenant count for the service experiments "
                              "(svc-*): one MESQ/SR victim plus N-1 "
                              "MEMQ/SR aggressors (default 3)")
+    parser.add_argument("--policy", metavar="SPEC", default="adaptive",
+                        help="shuffle policy for the policy experiments "
+                             "(abl-adaptive): adaptive, hierarchical, "
+                             "static:<DESIGN>, or a bare design name "
+                             "(default adaptive)")
     parser.add_argument("--topology", metavar="SPEC", default=None,
                         help="switch topology for every simulated cluster: "
                              "single-switch (default), leaf-spine[:K[:M]] "
@@ -90,6 +96,12 @@ def main(argv=None) -> int:
         parser.error("--nodes must be >= 2 (shuffles need a peer)")
     if args.tenants < 2:
         parser.error("--tenants must be >= 2 (a victim and an aggressor)")
+    # Validate eagerly so a typo fails before any experiment runs.
+    from repro.core.policy import parse_policy
+    try:
+        parse_policy(args.policy)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.topology:
         from repro.fabric.config import parse_topology, set_default_topology
@@ -136,6 +148,8 @@ def _run(args, parser) -> int:
             kwargs = {"scale": args.scale, "nodes": args.nodes}
             if name.startswith("svc"):
                 kwargs["tenants"] = args.tenants
+            if name == "abl-adaptive":
+                kwargs["policy"] = args.policy
             results = ALL_EXPERIMENTS[name](**kwargs)
             digest = sess.checkpoint(name)
             if digest["runs"]:
@@ -161,6 +175,7 @@ def _run(args, parser) -> int:
                 "scale": args.scale,
                 "nodes": args.nodes,
                 "tenants": args.tenants,
+                "policy": args.policy,
                 "topology": args.topology or "single-switch",
                 "experiments": experiments_out,
             }

@@ -37,8 +37,8 @@ from repro.tpch import generate, run_query
 
 __all__ = [
     "fig8", "fig9", "fig10", "fig10_scaleout", "fig11", "fig12", "fig13",
-    "fig14a", "fig14_scaling", "table1", "abl_oversub", "svc_tenants",
-    "ALL_EXPERIMENTS",
+    "fig14a", "fig14_scaling", "table1", "abl_oversub", "abl_adaptive",
+    "abl_hierarchical", "svc_tenants", "ALL_EXPERIMENTS",
 ]
 
 MIB = 1 << 20
@@ -584,6 +584,158 @@ def abl_oversub(network: NetworkConfig = EDR, nodes: int = 8,
     )
 
 
+# -- Ablation: adaptive policy vs the static grid --------------------------------------
+
+
+#: the measurement grid the AdaptivePolicy rule table is judged on: one
+#: point per regime of the fig8–fig11 sweeps (label, network, nodes,
+#: config).  ``None`` config = the workload defaults.
+_ADAPTIVE_GRID = [
+    ("fig8-edr-f1", EDR, 8,
+     EndpointConfig(buffers_per_connection=16, credit_frequency=1,
+                    ud_window_factor=1)),
+    ("fig8-fdr-f16", FDR, 8,
+     EndpointConfig(buffers_per_connection=16, credit_frequency=16,
+                    ud_window_factor=1)),
+    ("fig9-4k", EDR, 8, EndpointConfig(message_size=4 << 10)),
+    ("fig9-1m", EDR, 8, EndpointConfig(message_size=1 << 20)),
+    ("fig10-edr-n8", EDR, 8, None),
+    ("fig10-fdr-n16", FDR, 16, None),
+    ("fig11-edr-n16", EDR, 16, None),
+]
+
+
+def abl_adaptive(scale: float = 1.0, nodes: Optional[int] = None,
+                 policy: str = "adaptive",
+                 designs: Sequence[str] = SIX) -> ExperimentResult:
+    """Adaptive design selection vs the static grid (the policy ablation).
+
+    Re-runs one repartition point from each regime of the fig8–fig11
+    measurement grid with every static design plus the ``--policy``
+    selection, and reports the adaptive pick's throughput gap to the
+    best static design at that point.  The acceptance bar is a gap
+    within 5% everywhere: the rule table (see
+    :class:`repro.core.policy.AdaptivePolicy`) must never leave a
+    regime's winning design on the table.
+
+    The policy plans against the same context the run uses, so the
+    adaptive series *is* a normal planned run — including the clamp
+    path — not a post-hoc argmax over the static series.
+    """
+    from repro.core.policy import StageContext, parse_policy
+
+    names, best_ys, policy_ys, notes = [], [], [], []
+    for label, network, default_n, cfg in _ADAPTIVE_GRID:
+        n = _n(nodes, default_n)
+        best_design, best_y = "", 0.0
+        for design in designs:
+            y = _throughput(network, design, n, "repartition", scale,
+                            config=cfg)
+            if y > best_y:
+                best_design, best_y = design, y
+        pol = parse_policy(policy)
+        cluster = Cluster(ClusterConfig(network=network, num_nodes=n))
+        # Pre-plan with the RC-class volume to pick the run's volume;
+        # the runner re-plans with the chosen design's own volume (the
+        # starved-window rule keeps the two picks consistent).
+        plan = pol.plan(StageContext.from_cluster(
+            cluster, config=cfg,
+            bytes_per_node=_volume("SEMQ/SR", scale, n)))
+        result = run_repartition(
+            cluster, pol,
+            bytes_per_node=_volume(plan.design, scale, n),
+            config=cfg)
+        pol_y = result.receive_throughput_gib_per_node()
+        cluster.dispose()
+        gap = 100.0 * (best_y - pol_y) / max(1e-9, best_y)
+        names.append(label)
+        best_ys.append(best_y)
+        policy_ys.append(pol_y)
+        notes.append(f"{label}: {result.design} vs best {best_design} "
+                     f"(gap {gap:+.1f}%)")
+    return ExperimentResult(
+        experiment="abl-adaptive",
+        title=f"Adaptive policy vs static grid ({policy})",
+        x_label="grid point", x=names,
+        y_label="receive throughput per node (GiB/s)",
+        series=[Series("best static", best_ys),
+                Series(policy, policy_ys)],
+        notes="; ".join(notes),
+    )
+
+
+def abl_hierarchical(network: NetworkConfig = EDR, nodes: int = 8,
+                     nodes_per_leaf: int = 4, oversubscription: int = 4,
+                     scale: float = 1.0) -> ExperimentResult:
+    """Two-phase shuffle vs the flat design on an oversubscribed fabric.
+
+    Runs the abl-oversub repartition point at the mesoscale per-node
+    state budget (4 KiB UD messages, double buffering, no deep UD
+    window — the fig10-scaleout configuration, which is how a
+    leaf-spine fabric is actually operated) three ways: the flat UD
+    design on a 1:1 fabric, the same on a ``oversubscription``:1
+    fabric, and the :class:`~repro.core.policy.HierarchicalPolicy`
+    two-phase plan on the constrained fabric.
+
+    The notes decompose the flat design's oversubscription loss into
+    the bisection-bound part — per-node throughput can never exceed
+    ``link_rate * n / (k * (n - m))``, no matter the shuffle design
+    (EXPERIMENTS.md, abl-oversub) — and the recoverable scheduling
+    part, and report how much of each the two-phase plan wins back.
+    """
+    from repro.core.policy import HierarchicalPolicy
+
+    cfg = EndpointConfig(message_size=4096, buffers_per_connection=2,
+                         credit_frequency=2, ud_window_factor=1)
+    volume = max(2 * MIB, int(24 * MIB * scale))
+
+    def point(design, factor):
+        topology = LEAF_SPINE(oversubscription=factor,
+                              nodes_per_leaf=nodes_per_leaf)
+        cluster = Cluster(ClusterConfig(network=network, num_nodes=nodes,
+                                        topology=topology))
+        result = run_repartition(cluster, design, bytes_per_node=volume,
+                                 config=cfg)
+        elapsed = max(1, result.elapsed_ns)
+        trunk = max((p.pipe.busy_ns / elapsed
+                     for p in cluster.fabric.topology.ports()), default=0.0)
+        cluster.dispose()
+        return (result.design, result.receive_throughput_gib_per_node(),
+                100.0 * min(1.0, trunk))
+
+    flat1 = point("MESQ/SR", 1)
+    flat_k = point("MESQ/SR", oversubscription)
+    hier = point(HierarchicalPolicy(), oversubscription)
+
+    # The bisection bound: every byte for a remote leaf crosses one
+    # trunk of rate m*link/k shared by the leaf's m senders.
+    remote = nodes - nodes_per_leaf
+    ceiling = (network.link_bytes_per_ns * nodes /
+               (oversubscription * remote)) / (1 << 30) * 1e9
+    loss = max(1e-9, flat1[1] - flat_k[1])
+    recoverable = max(0.0, min(ceiling, flat1[1]) - flat_k[1])
+    won = hier[1] - flat_k[1]
+    labels = ["flat 1:1", f"flat {oversubscription}:1",
+              f"hier {oversubscription}:1"]
+    return ExperimentResult(
+        experiment=f"abl-hierarchical-{network.name}",
+        title=f"Two-phase shuffle under {oversubscription}:1 "
+              f"oversubscription ({network.name}, {nodes} nodes, "
+              f"{nodes_per_leaf}/leaf)",
+        x_label="configuration", x=labels,
+        y_label="receive throughput per node (GiB/s)",
+        series=[Series("throughput", [flat1[1], flat_k[1], hier[1]]),
+                Series("peak trunk util %", [flat1[2], flat_k[2],
+                                             hier[2]])],
+        notes=(f"{hier[0]}; bisection ceiling {ceiling:.2f} GiB/s; "
+               f"flat loss {loss:.2f} GiB/s of which "
+               f"{recoverable:.2f} recoverable; two-phase wins back "
+               f"{100.0 * won / loss:.0f}% of the loss "
+               f"({100.0 * won / max(1e-9, recoverable):.0f}% of the "
+               f"recoverable part)"),
+    )
+
+
 # -- Multi-tenant service ablation ----------------------------------------------------
 
 
@@ -799,6 +951,9 @@ ALL_EXPERIMENTS = {
     "table1": lambda scale=1.0, nodes=None: [table1(nodes=_n(nodes, 16))],
     "abl-oversub": lambda scale=1.0, nodes=None: [abl_oversub(
         nodes=_n(nodes, 8), scale=scale)],
+    "abl-adaptive": lambda scale=1.0, nodes=None, policy="adaptive": [
+        abl_adaptive(scale=scale, nodes=nodes, policy=policy),
+        abl_hierarchical(nodes=_n(nodes, 8), scale=scale)],
     "svc-tenants": lambda scale=1.0, nodes=None, tenants=3: [svc_tenants(
         nodes=_n(nodes, 8), tenants=tenants, scale=scale)],
 }

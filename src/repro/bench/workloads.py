@@ -15,22 +15,35 @@ of MiB.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cluster import Cluster
+from repro.core.designs import Design
 from repro.core.endpoint import EndpointConfig
 from repro.core.groups import TransmissionGroups
+from repro.core.policy import (
+    ShufflePolicy,
+    StageContext,
+    StagePlan,
+    TelemetrySnapshot,
+)
 from repro.core.receive import ReceiveOperator
 from repro.core.shuffle import ShuffleOperator, striped_partitioner
 from repro.core.stage import ShuffleStage
 from repro.engine.compute import ComputeOperator
 from repro.engine.fragment import CountSink, QueryFragment, run_fragments
 from repro.engine.scan import RepeatedSourceOperator
+from repro.sim import AllOf
 
-__all__ = ["ShuffleRunResult", "run_repartition", "run_broadcast"]
+__all__ = ["ShuffleRunResult", "run_repartition", "run_broadcast",
+           "run_hierarchical"]
+
+#: what the workload runners accept as a design selector.
+DesignLike = Union[str, Design, StagePlan, ShufflePolicy]
 
 GIB = float(1 << 30)
 
@@ -93,7 +106,7 @@ class ShuffleRunResult:
         return max(0.0, 1.0 - self.recv_data_wait_ns / total)
 
 
-def _resolve_stage(cluster: Cluster, design: str, groups_for, config,
+def _resolve_stage(cluster: Cluster, design, groups_for, config,
                    num_endpoints, threads):
     """Build the stage for an RDMA design or a baseline (MPI / IPoIB)."""
     if design in ("MPI", "IPoIB"):
@@ -107,11 +120,41 @@ def _resolve_stage(cluster: Cluster, design: str, groups_for, config,
                         registry=cluster.registry)
 
 
-def _run_shuffle(cluster: Cluster, design: str, pattern: str, groups_for,
+def _plan_stage(cluster: Cluster, design: DesignLike, pattern: str,
+                bytes_per_node: int, config: Optional[EndpointConfig],
+                num_endpoints: Optional[int]) -> Optional[StagePlan]:
+    """Resolve a policy selector into a plan; None for plain designs."""
+    if isinstance(design, StagePlan):
+        return design
+    if not isinstance(design, ShufflePolicy):
+        return None
+    ctx = StageContext.from_cluster(
+        cluster, config=config, bytes_per_node=bytes_per_node,
+        pattern=pattern, num_endpoints=num_endpoints,
+        allow_hierarchical=(pattern == "repartition"),
+        telemetry=TelemetrySnapshot.from_cluster(cluster))
+    return design.plan(ctx)
+
+
+def _run_shuffle(cluster: Cluster, design: DesignLike, pattern: str,
+                 groups_for,
                  bytes_per_node: int, config: Optional[EndpointConfig],
                  num_endpoints: Optional[int],
                  compute_ns_per_batch: float,
                  receive_output_bytes: int) -> ShuffleRunResult:
+    plan = _plan_stage(cluster, design, pattern, bytes_per_node, config,
+                       num_endpoints)
+    if plan is not None:
+        if plan.hierarchical:
+            if pattern != "repartition":
+                raise ValueError(
+                    f"hierarchical plans only support repartition, "
+                    f"not {pattern!r}")
+            return run_hierarchical(
+                cluster, plan, bytes_per_node=bytes_per_node, config=config,
+                compute_ns_per_batch=compute_ns_per_batch,
+                receive_output_bytes=receive_output_bytes)
+        design = plan
     n = cluster.num_nodes
     threads = cluster.threads_per_node
     stage = _resolve_stage(cluster, design, groups_for, config,
@@ -148,8 +191,15 @@ def _run_shuffle(cluster: Cluster, design: str, pattern: str, groups_for,
     elapsed = cluster.run_process(
         run_fragments(cluster.sim, fragments), name="shuffle-query")
 
+    if isinstance(design, str):
+        label = design
+    elif isinstance(design, StagePlan):
+        label = design.design
+    else:
+        label = design.name
+
     return ShuffleRunResult(
-        design=design,
+        design=label,
         pattern=pattern,
         network=cluster.config.network.name,
         num_nodes=n,
@@ -172,20 +222,25 @@ def _run_shuffle(cluster: Cluster, design: str, pattern: str, groups_for,
     )
 
 
-def run_repartition(cluster: Cluster, design: str,
+def run_repartition(cluster: Cluster, design: DesignLike,
                     bytes_per_node: int = 16 << 20,
                     config: Optional[EndpointConfig] = None,
                     num_endpoints: Optional[int] = None,
                     compute_ns_per_batch: float = 0.0,
                     receive_output_bytes: int = 32 * 1024) -> ShuffleRunResult:
-    """Uniform repartition of table R across all nodes (§5.1, Fig 10a/c)."""
+    """Uniform repartition of table R across all nodes (§5.1, Fig 10a/c).
+
+    ``design`` may be a design name, a :class:`Design`, a
+    :class:`StagePlan`, or a :class:`ShufflePolicy` (planned against the
+    live cluster; hierarchical plans run via :func:`run_hierarchical`).
+    """
     groups = TransmissionGroups.repartition(cluster.num_nodes)
     return _run_shuffle(cluster, design, "repartition", groups,
                         bytes_per_node, config, num_endpoints,
                         compute_ns_per_batch, receive_output_bytes)
 
 
-def run_broadcast(cluster: Cluster, design: str,
+def run_broadcast(cluster: Cluster, design: DesignLike,
                   bytes_per_node: int = 4 << 20,
                   config: Optional[EndpointConfig] = None,
                   num_endpoints: Optional[int] = None,
@@ -200,3 +255,180 @@ def run_broadcast(cluster: Cluster, design: str,
     return _run_shuffle(cluster, design, "broadcast", groups_for,
                         bytes_per_node, config, num_endpoints,
                         compute_ns_per_batch, receive_output_bytes)
+
+
+# ---------------------------------------------------------------------------
+# two-phase (hierarchical) repartition for oversubscribed leaf-spine
+# ---------------------------------------------------------------------------
+
+
+def _chained_fragments(fragments: Sequence[QueryFragment]):
+    """Run fragments strictly one after another (a sender chain)."""
+    for fragment in fragments:
+        yield fragment.start()
+
+
+def _hierarchical_query(sim, immediate: List[QueryFragment],
+                        chains: List[List[QueryFragment]]):
+    """Start the concurrent fragments plus one process per sender chain;
+    wait for everything.  Mirrors :func:`run_fragments`' timing."""
+    start = sim.now
+    events = [fragment.start() for fragment in immediate]
+    events += [
+        sim.process(_chained_fragments(chain), name=f"inter-chain-{i}")
+        for i, chain in enumerate(chains) if chain
+    ]
+    yield AllOf(sim, events)
+    return sim.now - start
+
+
+def run_hierarchical(cluster: Cluster, plan: StagePlan,
+                     bytes_per_node: int = 16 << 20,
+                     config: Optional[EndpointConfig] = None,
+                     compute_ns_per_batch: float = 0.0,
+                     receive_output_bytes: int = 32 * 1024
+                     ) -> ShuffleRunResult:
+    """Two-phase leaf-spine repartition from a hierarchical StagePlan.
+
+    Splits the uniform repartition by destination locality into two
+    concurrent single-phase shuffles:
+
+    * an **intra-leaf** stage (``plan.design``, typically UD) carrying
+      each node's share destined for its own leaf — never crosses a
+      trunk, runs at full parallelism;
+    * an **inter-leaf** stage (``plan.inter``, typically deep-window RC)
+      carrying the remaining share to every remote-leaf node.  The
+      senders of one source leaf are partitioned round-robin into
+      ``plan.inter_concurrency`` chains that each run their fragments
+      *sequentially*, keeping the aggregate injection rate of a leaf
+      near its trunk rate — each active stream fills the trunk instead
+      of queueing behind its leaf-mates' bursts.
+
+    Every byte lands at its final destination (no gateway forwarding),
+    so received-bytes throughput accounting is directly comparable to
+    the flat runner's.
+    """
+    if plan.inter is None:
+        raise ValueError("run_hierarchical needs a plan with an inter-leaf "
+                         "sub-plan; use run_repartition for flat plans")
+    n = cluster.num_nodes
+    threads = cluster.threads_per_node
+    per_leaf = cluster.config.topology.nodes_per_leaf
+    leaves = [list(range(lo, min(lo + per_leaf, n)))
+              for lo in range(0, n, per_leaf)]
+    if len(leaves) < 2:
+        # A single leaf has no trunk to coordinate: run the intra design
+        # flat, preserving the plan's parameter overrides.
+        flat = dataclasses.replace(plan, inter=None, inter_concurrency=1)
+        return run_repartition(
+            cluster, flat, bytes_per_node=bytes_per_node, config=config,
+            compute_ns_per_batch=compute_ns_per_batch,
+            receive_output_bytes=receive_output_bytes)
+    leaf_of = {node: i for i, members in enumerate(leaves)
+               for node in members}
+
+    def intra_groups(node: int) -> TransmissionGroups:
+        return TransmissionGroups(
+            [(dest,) for dest in leaves[leaf_of[node]]])
+
+    def inter_groups(node: int) -> TransmissionGroups:
+        return TransmissionGroups(
+            [(dest,) for dest in range(n) if leaf_of[dest] != leaf_of[node]])
+
+    intra_cfg = plan.apply(config)
+    inter_cfg = plan.inter.apply(config)
+    intra_stage = ShuffleStage(
+        cluster.fabric, plan.design, intra_groups, config=intra_cfg,
+        num_endpoints=plan.num_endpoints, threads=threads,
+        registry=cluster.registry)
+    inter_stage = ShuffleStage(
+        cluster.fabric, plan.inter.design, inter_groups, config=inter_cfg,
+        num_endpoints=plan.inter.num_endpoints, threads=threads,
+        registry=cluster.registry)
+    cluster.run_process(intra_stage.setup(), name="hier-intra-setup")
+    cluster.run_process(inter_stage.setup(), name="hier-inter-setup")
+    setup_ns = intra_stage.max_setup_ns + inter_stage.max_setup_ns
+
+    template = make_template_batch()
+    immediate: List[QueryFragment] = []
+    inter_senders: List[QueryFragment] = []
+    sinks: List[CountSink] = []
+    messages_before = cluster.fabric.delivered_messages
+
+    def receive_fragment(stage, node_id: int, tag: str) -> QueryFragment:
+        node = cluster.nodes[node_id]
+        receive = ReceiveOperator(node, stage.recv_endpoints[node_id],
+                                  threads, output_bytes=receive_output_bytes)
+        root = receive
+        if compute_ns_per_batch:
+            root = ComputeOperator(node, receive,
+                                   ns_per_batch=compute_ns_per_batch)
+        sink = CountSink()
+        sinks.append(sink)
+        return QueryFragment(node, root, threads, sink=sink,
+                             name=f"{tag}-receive-{node_id}")
+
+    def shuffle_fragment(stage, node_id: int, nbytes: int,
+                         tag: str) -> QueryFragment:
+        node = cluster.nodes[node_id]
+        groups = stage.groups_for[node_id]
+        per_thread = max(template.nbytes, nbytes // threads)
+        source = RepeatedSourceOperator(node, template, threads, per_thread)
+        shuffle = ShuffleOperator(
+            node, source, stage.send_endpoints[node_id], groups,
+            striped_partitioner(groups.num_groups), threads)
+        return QueryFragment(node, shuffle, threads,
+                             name=f"{tag}-shuffle-{node_id}")
+
+    for node_id in range(n):
+        own = len(leaves[leaf_of[node_id]])
+        intra_bytes = bytes_per_node * own // n
+        inter_bytes = bytes_per_node - intra_bytes
+        immediate.append(
+            shuffle_fragment(intra_stage, node_id, intra_bytes, "intra"))
+        immediate.append(receive_fragment(intra_stage, node_id, "intra"))
+        immediate.append(receive_fragment(inter_stage, node_id, "inter"))
+        inter_senders.append(
+            shuffle_fragment(inter_stage, node_id, inter_bytes, "inter"))
+
+    # Round-robin each leaf's inter-leaf senders into c sequential
+    # chains: at most c senders per source leaf are active at any time.
+    chains: List[List[QueryFragment]] = []
+    concurrency = max(1, plan.inter_concurrency)
+    for members in leaves:
+        leaf_chains: List[List[QueryFragment]] = [
+            [] for _ in range(concurrency)]
+        for slot, node_id in enumerate(members):
+            leaf_chains[slot % concurrency].append(inter_senders[node_id])
+        chains.extend(chain for chain in leaf_chains if chain)
+
+    elapsed = cluster.run_process(
+        _hierarchical_query(cluster.sim, immediate, chains),
+        name="hier-shuffle-query")
+
+    stages = (intra_stage, inter_stage)
+    return ShuffleRunResult(
+        design=plan.describe(),
+        pattern="repartition",
+        network=cluster.config.network.name,
+        num_nodes=n,
+        threads=threads,
+        bytes_per_node=bytes_per_node,
+        elapsed_ns=elapsed,
+        setup_ns=setup_ns,
+        total_received_bytes=sum(s.nbytes for s in sinks),
+        total_received_rows=sum(s.rows for s in sinks),
+        registered_bytes_per_node=max(
+            sum(stage.registered_bytes(i) for stage in stages)
+            for i in range(n)),
+        qps_per_node=max(
+            sum(stage.qps_created(i) for stage in stages)
+            for i in range(n)),
+        messages_sent=cluster.fabric.delivered_messages - messages_before,
+        recv_data_wait_ns=sum(
+            ep.data_wait_ns for stage in stages
+            for eps in stage.recv_endpoints.values() for ep in eps),
+        send_credit_wait_ns=sum(
+            getattr(ep, "credit_wait_ns", 0) for stage in stages
+            for eps in stage.send_endpoints.values() for ep in eps),
+    )

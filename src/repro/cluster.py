@@ -147,10 +147,29 @@ class Cluster:
         """Harvest a JSON-ready metrics snapshot of the whole cluster."""
         return self.telemetry.snapshot()
 
-    def shuffle_stage(self, design, groups, **kwargs):
+    def shuffle_stage(self, design, groups, context=None, **kwargs):
         """Build a :class:`~repro.core.stage.ShuffleStage` on this cluster,
-        wired to the cluster-wide endpoint registry by default."""
+        wired to the cluster-wide endpoint registry by default.
+
+        ``design`` may be a design name, a :class:`~repro.core.designs.
+        Design`, a flat :class:`~repro.core.policy.StagePlan`, or a
+        :class:`~repro.core.policy.ShufflePolicy` (planned against
+        ``context``, or a context built from this cluster).  The
+        argument is validated *eagerly*: an unknown design or endpoint
+        kind raises here, naming the known designs and registered
+        kinds, instead of failing deep in the transport registry.
+        """
+        from repro.core.designs import resolve_design
+        from repro.core.policy import ShufflePolicy, StageContext, StagePlan
         from repro.core.stage import ShuffleStage
+        if isinstance(design, ShufflePolicy):
+            if context is None:
+                context = StageContext.from_cluster(
+                    self, config=kwargs.get("config"),
+                    num_endpoints=kwargs.get("num_endpoints"))
+            design = design.plan(context)
+        if not isinstance(design, StagePlan):
+            resolve_design(design)
         kwargs.setdefault("registry", self.registry)
         return ShuffleStage(self.fabric, design, groups, **kwargs)
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Type
 
+from typing import Union
+
 from repro.core.endpoint import ReceiveEndpoint, SendEndpoint
 from repro.core.transport.registry import backend, register_endpoint_kind
 
@@ -34,7 +36,28 @@ import repro.core.sr_rc      # noqa: F401  (SR_RC)
 import repro.core.sr_ud      # noqa: F401  (SR_UD)
 import repro.core.write_rc   # noqa: F401  (WR_RC)
 
-__all__ = ["Design", "DESIGNS", "design_properties", "register_endpoint_kind"]
+__all__ = [
+    "Design",
+    "DESIGNS",
+    "UnknownDesignError",
+    "design_properties",
+    "register_endpoint_kind",
+    "resolve_design",
+]
+
+
+class UnknownDesignError(KeyError):
+    """Raised for a design name that is not in :data:`DESIGNS`."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        from repro.core.transport.registry import registered_kinds
+        return (f"unknown shuffle design {self.name!r}; known designs: "
+                f"{', '.join(sorted(DESIGNS))} (registered endpoint "
+                f"kinds: {', '.join(registered_kinds())})")
 
 
 @dataclass(frozen=True)
@@ -123,6 +146,27 @@ DESIGNS: Dict[str, Design] = {
 
 #: the order the paper lists the six designs in.
 PAPER_ORDER = ["MEMQ/SR", "MEMQ/RD", "MESQ/SR", "SEMQ/SR", "SEMQ/RD", "SESQ/SR"]
+
+
+def resolve_design(design: Union[str, "Design"]) -> Design:
+    """Resolve a design name (or pass a :class:`Design` through), eagerly.
+
+    The single sanctioned name→design lookup: it raises
+    :class:`UnknownDesignError` listing the known designs for a bad
+    name, and probes the endpoint-backend registry so a design naming
+    an unregistered kind fails here — at stage/policy construction —
+    with the registered-kind list, instead of deep inside the transport
+    layer at send time.
+    """
+    if isinstance(design, Design):
+        d = design
+    else:
+        try:
+            d = DESIGNS[design]
+        except (KeyError, TypeError):
+            raise UnknownDesignError(str(design)) from None
+    backend(d.endpoint_kind)  # raises UnknownEndpointKindError eagerly
+    return d
 
 
 def design_properties(num_nodes: int, threads: int) -> List[dict]:

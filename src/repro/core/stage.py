@@ -12,15 +12,19 @@ and exposes the endpoints for building SHUFFLE / RECEIVE operators.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
+    Union
 
-from repro.core.designs import DESIGNS, Design
+from repro.core.designs import Design, resolve_design
 from repro.core.endpoint import EndpointConfig, ReceiveEndpoint, SendEndpoint
 from repro.core.groups import TransmissionGroups
 from repro.fabric.network import Fabric
 from repro.sim import AllOf
 from repro.verbs.cm import EndpointRegistry
 from repro.verbs.device import VerbsContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policy import StagePlan
 
 __all__ = ["ShuffleStage", "get_context"]
 
@@ -41,7 +45,7 @@ class ShuffleStage:
     def __init__(
         self,
         fabric: Fabric,
-        design: Union[str, Design],
+        design: Union[str, Design, "StagePlan"],
         groups: Union[TransmissionGroups,
                       Callable[[int], TransmissionGroups]],
         config: Optional[EndpointConfig] = None,
@@ -51,7 +55,24 @@ class ShuffleStage:
         registry: Optional[EndpointRegistry] = None,
     ):
         self.fabric = fabric
-        self.design = DESIGNS[design] if isinstance(design, str) else design
+        #: the plan this stage executes, when one was supplied (a flat
+        #: :class:`~repro.core.policy.StagePlan`); its design resolves
+        #: through the same eager path as a plain name.
+        self.plan: Optional["StagePlan"] = None
+        if hasattr(design, "apply"):  # a StagePlan (duck-typed: no cycle)
+            plan = design
+            if plan.hierarchical:
+                raise ValueError(
+                    f"plan {plan.describe()!r} is hierarchical; a single "
+                    f"ShuffleStage runs flat plans only — use the "
+                    f"two-phase runner in repro.bench.workloads")
+            self.plan = plan
+            num_endpoints = num_endpoints or plan.num_endpoints
+            config = plan.apply(config)
+            design = plan.design
+        # Eager validation: an unknown design name or unregistered
+        # endpoint kind fails here with the known-design/kind lists.
+        self.design = resolve_design(design)
         self.threads = threads or fabric.cluster.threads_per_node
         self.k = num_endpoints or self.design.num_endpoints(self.threads)
         if self.k > self.threads:

@@ -8,7 +8,7 @@ tenant — the unit the scheduler admits, places, runs, and accounts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.endpoint import EndpointConfig
 from repro.sim import Notify, Simulator
@@ -34,6 +34,12 @@ class TenantSpec:
     num_endpoints: Optional[int] = None
     #: base endpoint configuration (None: EndpointConfig() defaults).
     config: Optional[EndpointConfig] = None
+    #: per-job design selection (a :class:`~repro.core.policy.
+    #: ShufflePolicy`); None runs a StaticPolicy of ``design`` —
+    #: bit-identical to the historical fixed-design scheduler.  The
+    #: scheduler feeds measured telemetry back to the policy between
+    #: jobs, so an adaptive tenant can switch designs mid-run.
+    policy: Optional[Any] = None
 
 
 @dataclass
@@ -55,8 +61,9 @@ class Job:
     credit_stalls: int = 0
     qp_cache_misses: int = 0
     qps_created: int = 0
-    #: extra bookkeeping policies may attach.
-    meta: Dict[str, int] = field(default_factory=dict)
+    #: extra bookkeeping policies may attach (counters, the executed
+    #: plan's design/reason, failure flags).
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def name(self) -> str:

@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
-from repro.core.designs import DESIGNS, Design
+from repro.core.designs import Design
 from repro.core.endpoint import EndpointConfig
+from repro.core.policy import plan_footprint
 
 __all__ = [
     "QuotaExceededError",
@@ -177,27 +178,13 @@ def estimate_footprint(design: Union[str, Design], nodes: int, threads: int,
                        config: Optional[EndpointConfig] = None) -> Footprint:
     """Generous cluster-wide footprint estimate for one shuffle job.
 
-    Mirrors the stage's config derivation (UD MTU cap and window factor,
-    per-endpoint thread split), then applies a 2x safety margin so that
-    admission — which compares this estimate against the tenant's
-    remaining headroom — over-rejects rather than admitting a job that
-    the hard verbs-layer cap would kill halfway through setup.  The
-    conformance test asserts estimate >= actual for every design.
+    A thin wrapper over :func:`repro.core.policy.plan_footprint` — the
+    one shared formula that admission, policy clamping, and planning
+    all use (it mirrors the stage's config derivation and applies a 2x
+    safety margin; the conformance test asserts estimate >= actual for
+    every design).
     """
-    d = DESIGNS[design] if isinstance(design, str) else design
-    k = num_endpoints or d.num_endpoints(threads)
-    base = config or EndpointConfig()
-    threads_per_ep = -(-threads // k)
-    message_size = base.message_size
-    buffers = base.buffers_per_connection
-    if d.uses_ud:
-        buffers *= base.ud_window_factor
-    # message_size is capped at the MTU for UD, but keeping the uncapped
-    # value only makes the estimate more generous.
-    per_ep_qps = 1 if d.uses_ud else nodes
-    qps = 2 * nodes * k * per_ep_qps
-    window = buffers * threads_per_ep * message_size
-    # send pool (window x groups) + recv pool (window x sources) per
-    # node, plus aux pools/boards absorbed by the margin.
-    registered = 2 * nodes * k * nodes * window
-    return Footprint(qps=2 * qps, registered_bytes=2 * registered)
+    qps, registered = plan_footprint(design, nodes, threads,
+                                     num_endpoints=num_endpoints,
+                                     config=config)
+    return Footprint(qps=qps, registered_bytes=registered)

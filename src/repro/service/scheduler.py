@@ -7,18 +7,24 @@ tenants on one fabric.  :class:`ShuffleService` closes that gap:
 * per-tenant arrival processes push :class:`~repro.service.jobs.Job`\\ s
   onto a :class:`~repro.service.jobs.JobQueue` (open loop, seeded
   exponential gaps — deterministic across runs);
-* a scheduler sim-process admits jobs under a pluggable policy
-  (:class:`FifoPolicy` / :class:`FairSharePolicy`) and a concurrency
-  limit, optionally arbitrated by a
+* a scheduler sim-process admits jobs under a pluggable admission
+  policy (:class:`FifoPolicy` / :class:`FairSharePolicy`) and a
+  concurrency limit, optionally arbitrated by a
   :class:`~repro.service.quota.QuotaManager` (defer while a tenant's
-  headroom is exhausted; *clamp* a job's endpoint count when its natural
-  footprint alone exceeds the tenant's cap — an MQ tenant degrades
-  toward SQ rather than monopolizing the NIC's context cache);
+  headroom is exhausted);
+* each job is *planned* by its tenant's
+  :class:`~repro.core.policy.ShufflePolicy` (a StaticPolicy of the
+  tenant's fixed design unless the spec carries one): the policy picks
+  the design, clamps the endpoint count under the tenant's caps (an MQ
+  tenant degrades toward SQ rather than monopolizing the NIC's context
+  cache), and — fed measured telemetry between jobs via
+  :meth:`~repro.core.policy.ShufflePolicy.observe` — may switch designs
+  mid-run when QP-cache misses or credit stalls cross its thresholds;
 * each admitted job builds a tenant-tagged
-  :class:`~repro.core.stage.ShuffleStage`, runs the §5.1 repartition
-  fragments, harvests per-tenant transport stats (bytes, credit stalls,
-  QP-cache misses), and tears the stage down (PR 7 dispose discipline)
-  so the next job starts from clean NIC state.
+  :class:`~repro.core.stage.ShuffleStage` from its plan, runs the §5.1
+  repartition fragments, harvests per-tenant transport stats (bytes,
+  credit stalls, QP-cache misses), and tears the stage down (PR 7
+  dispose discipline) so the next job starts from clean NIC state.
 
 Everything is simulated time; repeated runs with one seed reproduce the
 same completion order and metrics bit-for-bit.
@@ -32,10 +38,15 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.cluster import Cluster
-from repro.core.designs import DESIGNS
 from repro.core.endpoint import EndpointConfig
 from repro.core.groups import TransmissionGroups
 from repro.core.receive import ReceiveOperator
+from repro.core.policy import (
+    StageContext,
+    StagePlan,
+    StaticPolicy,
+    TelemetrySnapshot,
+)
 from repro.core.shuffle import ShuffleOperator, striped_partitioner
 from repro.engine.fragment import CountSink, QueryFragment, run_fragments
 from repro.engine.scan import RepeatedSourceOperator
@@ -136,6 +147,20 @@ class ShuffleService:
         self.failed: List[Job] = []
         self.started_by_tenant: Dict[str, int] = {}
         self.running = 0
+        #: per-tenant shuffle policies: the tenant's own, or a
+        #: StaticPolicy of its fixed design (bit-identical to the
+        #: historical inline design/clamp logic).
+        self._policies = {
+            t.name: (t.policy if t.policy is not None
+                     else StaticPolicy(t.design,
+                                       num_endpoints=t.num_endpoints))
+            for t in tenants
+        }
+        #: the plan each admitted job was reserved under, so admission
+        #: accounting and execution cannot diverge for adaptive tenants.
+        self._plans: Dict[str, StagePlan] = {}
+        self._decisions = cluster.telemetry.fabric_registry.counter(
+            "service.policy_decisions")
         #: footprints reserved by admitted-but-unfinished jobs, so two
         #: concurrent admissions of one tenant cannot overshoot its cap.
         self._reserved: Dict[str, List[Footprint]] = {}
@@ -149,61 +174,55 @@ class ShuffleService:
         cluster.telemetry.fabric_registry.register_callback(
             "service_tenants", self._telemetry_callback)
 
-    # -- quota headroom -----------------------------------------------------
+    # -- planning & quota headroom ------------------------------------------
 
-    #: sentinel from :meth:`_effective_endpoints`: even a clamped
-    #: single-endpoint job exceeds the tenant's cap.
-    _UNRUNNABLE = -1
+    def stage_context(self, tenant: TenantSpec) -> StageContext:
+        """The :class:`StageContext` a job of ``tenant`` plans against:
+        cluster shape, the tenant's quota caps (the clamping inputs),
+        and a live telemetry snapshot for adaptive policies."""
+        quota = self.quotas.quota(tenant.name) \
+            if self.quotas is not None else None
+        return StageContext.from_cluster(
+            self.cluster,
+            message_size=(tenant.config or EndpointConfig()).message_size,
+            bytes_per_node=tenant.bytes_per_job,
+            config=tenant.config,
+            num_endpoints=tenant.num_endpoints,
+            max_qps=quota.max_qps if quota is not None else None,
+            max_registered_bytes=(quota.max_registered_bytes
+                                  if quota is not None else None),
+            telemetry=TelemetrySnapshot.from_cluster(self.cluster),
+        )
 
-    def _effective_endpoints(self, tenant: TenantSpec) -> Optional[int]:
-        """The endpoint count a job of ``tenant`` will run with.
+    def plan_for(self, tenant: TenantSpec) -> StagePlan:
+        """Plan one job of ``tenant`` right now (clamping included).
 
-        Without caps this is the tenant's requested count (None: the
-        design's natural count).  Under a quota, the count is clamped
-        down toward single-endpoint until the estimated footprint of one
-        job fits the cap *alone* — the isolation lever of the
-        svc-tenants ablation (an MQ tenant degrades toward SQ instead of
-        monopolizing the NIC context cache).  Returns ``_UNRUNNABLE``
-        when even a single-endpoint job cannot fit.
+        The per-design endpoint-count/clamping logic that used to be
+        duplicated here and in ``service/quota.py`` now lives once, in
+        the policy layer (:func:`repro.core.policy.plan_footprint` and
+        the policies' quota clamp).
         """
-        if self.quotas is None:
-            return tenant.num_endpoints
-        quota = self.quotas.quota(tenant.name)
-        if quota.max_qps is None and quota.max_registered_bytes is None:
-            return tenant.num_endpoints
-        cluster = self.cluster
-        design = DESIGNS[tenant.design]
-        threads = cluster.threads_per_node
-        natural = tenant.num_endpoints or design.num_endpoints(threads)
-        for candidate in range(natural, 0, -1):
-            fp = estimate_footprint(design, cluster.num_nodes, threads,
-                                    num_endpoints=candidate,
-                                    config=tenant.config)
-            if quota.max_qps is not None and fp.qps > quota.max_qps:
-                continue
-            if quota.max_registered_bytes is not None and \
-                    fp.registered_bytes > quota.max_registered_bytes:
-                continue
-            return candidate
-        return self._UNRUNNABLE
+        return self._policies[tenant.name].plan(self.stage_context(tenant))
 
-    def job_footprint(self, job: Job) -> Footprint:
-        k = self._effective_endpoints(job.tenant)
-        if k == self._UNRUNNABLE:
-            k = 1
+    def job_footprint(self, job: Job,
+                      plan: Optional[StagePlan] = None) -> Footprint:
+        if plan is None:
+            plan = self._plans.get(job.name) or self.plan_for(job.tenant)
         return estimate_footprint(
-            job.tenant.design, self.cluster.num_nodes,
+            plan.design, self.cluster.num_nodes,
             self.cluster.threads_per_node,
-            num_endpoints=k, config=job.tenant.config)
+            num_endpoints=plan.num_endpoints,
+            config=plan.apply(job.tenant.config))
 
     def headroom_ok(self, job: Job) -> bool:
         """May ``job`` be admitted right now under its tenant's caps?"""
         if self.quotas is None:
             return True
         tenant = job.tenant.name
-        if self._effective_endpoints(job.tenant) == self._UNRUNNABLE:
+        plan = self.plan_for(job.tenant)
+        if not plan.runnable:
             return False
-        fp = self.job_footprint(job)
+        fp = self.job_footprint(job, plan=plan)
         reserved = self._reserved.get(tenant, [])
         combined = Footprint(
             qps=fp.qps + sum(r.qps for r in reserved),
@@ -272,31 +291,46 @@ class ShuffleService:
         job.admitted_ns = self.sim.now
         self.started_by_tenant[tenant] = \
             self.started_by_tenant.get(tenant, 0) + 1
+        # Plan once at admission: the same plan backs the reservation,
+        # the decision trace, and the stage the job runs.
+        plan = self.plan_for(job.tenant)
+        self._plans[job.name] = plan
+        self._record_decision(job, plan)
         if self.quotas is not None:
             self._reserved.setdefault(tenant, []).append(
-                self.job_footprint(job))
+                self.job_footprint(job, plan=plan))
         self.running += 1
         self.sim.process(self._run_job(job), name=f"job-{job.name}")
+
+    def _record_decision(self, job: Job, plan: StagePlan) -> None:
+        """Policy-decision telemetry: a counter, job metadata, and a
+        trace instant on the scheduler track."""
+        self._decisions.inc()
+        job.meta["design"] = plan.design
+        job.meta["policy"] = self._policies[job.tenant.name].describe()
+        self.cluster.telemetry.tracer.instant(
+            0, "scheduler", "policy-decision",
+            args={"job": job.name, "design": plan.describe(),
+                  "reason": plan.reason})
 
     def _run_job(self, job: Job):
         cluster = self.cluster
         tenant = job.tenant
         stage = None
         try:
-            base = tenant.config or EndpointConfig()
-            config = dataclasses.replace(base, tenant=tenant.name)
-            k = self._effective_endpoints(tenant)
-            if k == self._UNRUNNABLE:
+            plan = self._plans.pop(job.name, None)
+            if plan is None:
+                plan = self.plan_for(tenant)
+            if not plan.runnable:
                 raise QuotaExceededError(
                     f"tenant {tenant.name!r} cannot fit any job under "
                     "its caps")
-            natural = tenant.num_endpoints or DESIGNS[
-                tenant.design].num_endpoints(cluster.threads_per_node)
-            if k is not None and k < natural:
-                job.meta["clamped_endpoints"] = k
+            base = plan.apply(tenant.config or EndpointConfig())
+            config = dataclasses.replace(base, tenant=tenant.name)
+            if plan.clamped:
+                job.meta["clamped_endpoints"] = plan.num_endpoints
             groups = TransmissionGroups.repartition(cluster.num_nodes)
-            stage = cluster.shuffle_stage(
-                tenant.design, groups, config=config, num_endpoints=k)
+            stage = cluster.shuffle_stage(plan, groups, config=config)
             yield from stage.setup()
             qpns = {qp.qpn
                     for node in range(cluster.num_nodes)
@@ -315,6 +349,7 @@ class ShuffleService:
                 ep.credit_stalls
                 for eps in stage.send_endpoints.values() for ep in eps)
             job.qp_cache_misses = self._misses_for(qpns)
+            self._observe(job, elapsed)
             self.completed.append(job)
             self.completion_order.append(job.name)
             # Let trailing completions (acks, credit write-backs) land
@@ -335,6 +370,22 @@ class ShuffleService:
                     reserved.pop()
             self.running -= 1
             self.queue.kick()
+
+    def _observe(self, job: Job, elapsed_ns: int) -> None:
+        """Feed measured telemetry back to the tenant's policy — the
+        mid-run re-plan hook.  The cache miss rate is cluster-wide and
+        cumulative (the cache is shared: a tenant suffers its
+        neighbours' thrash, which its plan-time context cannot
+        predict); the credit-stall share is the job's own.
+        """
+        cluster = self.cluster
+        base = TelemetrySnapshot.from_cluster(cluster)
+        budget = max(1, elapsed_ns * cluster.threads_per_node *
+                     cluster.num_nodes)
+        observed = dataclasses.replace(
+            base,
+            credit_stall_share=min(1.0, job.credit_wait_ns / budget))
+        self._policies[job.tenant.name].observe(observed)
 
     def _run_fragments(self, stage):
         """Build and run the §5.1 repartition fragments on ``stage``."""

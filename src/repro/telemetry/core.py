@@ -88,6 +88,12 @@ class Telemetry:
 
     # -- access ------------------------------------------------------------
 
+    @property
+    def endpoints(self):
+        """Every endpoint registered with this telemetry object (the
+        harvest surface policies read credit-stall totals from)."""
+        return tuple(self._endpoints)
+
     def node_registry(self, node_id: int) -> MetricsRegistry:
         if not self.enabled:
             return NULL_REGISTRY

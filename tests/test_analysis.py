@@ -351,6 +351,31 @@ class TestVS109SelfReferentialClosures:
         assert lint_source("telemetry/evil.py", source) == []
 
 
+class TestVS110RawDesignDispatch:
+    """PR 10 moved design selection behind the policy layer; raw
+    DESIGNS[...] dispatch anywhere else reintroduces the hard-wired
+    string paths the refactor removed."""
+
+    def test_subscript_dispatch_flagged(self):
+        source = "def pick(name):\n    return DESIGNS[name]\n"
+        violations = lint_source("service/evil.py", source)
+        assert rules_of(violations) == ["VS110"]
+        assert "resolve_design" in violations[0].message
+
+    def test_get_dispatch_flagged(self):
+        source = "design = DESIGNS.get(name)\n"
+        assert rules_of(lint_source("bench/evil.py", source)) == ["VS110"]
+
+    def test_policy_layer_is_exempt(self):
+        source = "def pick(name):\n    return DESIGNS[name]\n"
+        assert lint_source("core/policy.py", source) == []
+        assert lint_source("core/designs.py", source) == []
+
+    def test_other_registries_do_not_fire(self):
+        source = "policy = SHUFFLE_POLICIES[name]\n"
+        assert lint_source("bench/evil.py", source) == []
+
+
 class TestSelectValidation:
     """parse_select is the single gate for --select and
     --repro-lint-select: a typo'd rule id must error, not lint nothing

@@ -1,0 +1,473 @@
+"""Tests for the shuffle-policy layer (repro.core.policy).
+
+Covers the PR-10 guarantees: plans are deterministic functions of their
+context, StaticPolicy is bit-identical to the legacy design-string path,
+design/kind validation is eager with actionable errors, the adaptive
+rule table and observed-telemetry overrides fire as documented, the
+hierarchical plan/runner pair round-trips every byte, and the quota
+clamp the service scheduler used to apply inline now lives behind
+``ShufflePolicy.plan``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Cluster, ClusterConfig, EDR, FDR, LEAF_SPINE, \
+    TransmissionGroups
+from repro.bench.workloads import (
+    run_broadcast,
+    run_hierarchical,
+    run_repartition,
+)
+from repro.core.designs import DESIGNS, UnknownDesignError
+from repro.core.endpoint import EndpointConfig
+from repro.core.policy import (
+    AdaptivePolicy,
+    HierarchicalPolicy,
+    SHUFFLE_POLICIES,
+    ShufflePolicy,
+    StageContext,
+    StagePlan,
+    StaticPolicy,
+    TelemetrySnapshot,
+    parse_policy,
+    plan_footprint,
+)
+from repro.core.stage import ShuffleStage
+from repro.service import (
+    QuotaManager,
+    ServiceConfig,
+    ShuffleService,
+    TenantSpec,
+)
+
+
+def make_cluster(nodes=4, threads=2, network=EDR, topology=None,
+                 qp_cache_entries=None):
+    config = ClusterConfig(network=network, num_nodes=nodes,
+                           threads_per_node=threads)
+    if topology is not None:
+        config = dataclasses.replace(config, topology=topology)
+    if qp_cache_entries is not None:
+        config = config.with_network(qp_cache_entries=qp_cache_entries)
+    return Cluster(config)
+
+
+def make_context(nodes=8, threads=8, message_size=64 * 1024,
+                 qp_cache_entries=1024, **kwargs):
+    """A StageContext without a live cluster (rule-table unit tests)."""
+    return StageContext(num_nodes=nodes, threads=threads,
+                        message_size=message_size,
+                        qp_cache_entries=qp_cache_entries, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# parsing & eager validation
+# ---------------------------------------------------------------------------
+
+
+class TestParsePolicy:
+    def test_registered_names(self):
+        assert isinstance(parse_policy("adaptive"), AdaptivePolicy)
+        assert isinstance(parse_policy("hierarchical"), HierarchicalPolicy)
+        assert set(SHUFFLE_POLICIES) == {"adaptive", "hierarchical"}
+
+    def test_static_prefix_and_bare_design(self):
+        static = parse_policy("static:SEMQ/SR")
+        assert isinstance(static, StaticPolicy)
+        assert static.design.name == "SEMQ/SR"
+        bare = parse_policy("MESQ/SR")
+        assert isinstance(bare, StaticPolicy)
+        assert bare.design.name == "MESQ/SR"
+
+    def test_policy_object_passes_through(self):
+        policy = AdaptivePolicy()
+        assert parse_policy(policy) is policy
+
+    def test_unknown_spec_lists_options(self):
+        with pytest.raises(ValueError) as exc:
+            parse_policy("bogus")
+        message = str(exc.value)
+        assert "adaptive" in message
+        assert "static:<DESIGN>" in message
+        assert "MESQ/SR" in message
+
+    def test_non_string_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            parse_policy(42)
+
+    def test_cli_rejects_bad_policy_before_running(self):
+        from repro.bench.cli import main
+        with pytest.raises(SystemExit):
+            main(["fig8", "--policy", "bogus"])
+
+
+class TestEagerValidation:
+    def test_shuffle_stage_rejects_unknown_design(self):
+        cluster = make_cluster(nodes=2)
+        groups = TransmissionGroups.repartition(2)
+        with pytest.raises(UnknownDesignError) as exc:
+            cluster.shuffle_stage("NOPE/XX", groups)
+        message = str(exc.value)
+        # The error must name every registered design and endpoint kind.
+        for design in DESIGNS:
+            assert design in message
+        assert "registered endpoint kinds" in message
+        assert "SR_UD" in message
+
+    def test_stage_plan_rejects_unknown_design_at_construction(self):
+        with pytest.raises(UnknownDesignError):
+            StagePlan(design="NOPE/XX")
+
+    def test_inter_plans_cannot_nest(self):
+        inner = StagePlan(design="SEMQ/SR")
+        mid = StagePlan(design="SEMQ/SR", inter=inner)
+        with pytest.raises(ValueError, match="nest"):
+            StagePlan(design="MESQ/SR", inter=mid)
+
+    def test_shuffle_stage_rejects_hierarchical_plans(self):
+        cluster = make_cluster(nodes=2)
+        plan = StagePlan(design="MESQ/SR",
+                         inter=StagePlan(design="SEMQ/SR"))
+        with pytest.raises(ValueError, match="hierarchical"):
+            cluster.shuffle_stage(
+                plan, TransmissionGroups.repartition(2))
+
+
+# ---------------------------------------------------------------------------
+# determinism (same context + seed -> identical plans and run digests)
+# ---------------------------------------------------------------------------
+
+
+LEAF4X2 = LEAF_SPINE(oversubscription=2, nodes_per_leaf=2)
+
+
+class TestPlanDeterminism:
+    def context_pair(self, **kwargs):
+        a = make_cluster(**kwargs)
+        b = make_cluster(**kwargs)
+        return (StageContext.from_cluster(a, allow_hierarchical=True),
+                StageContext.from_cluster(b, allow_hierarchical=True))
+
+    def test_contexts_from_identical_clusters_are_equal(self):
+        ctx_a, ctx_b = self.context_pair(nodes=4, threads=2)
+        assert ctx_a == ctx_b
+
+    @pytest.mark.parametrize("policy_factory", [
+        lambda: StaticPolicy("SEMQ/SR"),
+        AdaptivePolicy,
+        HierarchicalPolicy,
+    ])
+    def test_same_context_same_plan(self, policy_factory):
+        ctx_a, ctx_b = self.context_pair(nodes=4, threads=2,
+                                         topology=LEAF4X2)
+        assert policy_factory().plan(ctx_a) == policy_factory().plan(ctx_b)
+
+    def test_same_observations_same_plan(self):
+        ctx, _ = self.context_pair(nodes=4, threads=2)
+        snap = TelemetrySnapshot(qp_cache_miss_rate=0.5)
+        plans = []
+        for _ in range(2):
+            policy = AdaptivePolicy()
+            policy.observe(snap)
+            plans.append(policy.plan(ctx))
+        assert plans[0] == plans[1]
+
+    @pytest.mark.parametrize("selector", [
+        AdaptivePolicy,
+        lambda: StaticPolicy("MESQ/SR"),
+    ])
+    def test_run_digests_are_bit_identical(self, selector):
+        def digest():
+            cluster = make_cluster(nodes=2, threads=2)
+            result = run_repartition(cluster, selector(),
+                                     bytes_per_node=1 << 20)
+            return dataclasses.asdict(result)
+        assert digest() == digest()
+
+    def test_hierarchical_run_digest_is_bit_identical(self):
+        def digest():
+            cluster = make_cluster(nodes=4, threads=2, topology=LEAF4X2)
+            result = run_repartition(cluster, HierarchicalPolicy(),
+                                     bytes_per_node=2 << 20)
+            return dataclasses.asdict(result)
+        assert digest() == digest()
+
+
+class TestStaticBitIdentity:
+    """StaticPolicy (and an override-free StagePlan) must reproduce the
+    legacy design-string path bit-for-bit."""
+
+    @pytest.mark.parametrize("design", ["MESQ/SR", "SEMQ/SR"])
+    @pytest.mark.parametrize("selector", [
+        lambda d: StaticPolicy(d),
+        lambda d: StagePlan(design=d),
+    ])
+    def test_selector_matches_design_string(self, design, selector):
+        def run(chooser):
+            cluster = make_cluster(nodes=2, threads=2)
+            result = run_repartition(cluster, chooser,
+                                     bytes_per_node=1 << 20)
+            return dataclasses.asdict(result)
+        assert run(design) == run(selector(design))
+
+    def test_empty_plan_apply_is_identity(self):
+        base = EndpointConfig(message_size=4096)
+        assert StagePlan(design="SEMQ/SR").apply(base) is base
+
+
+# ---------------------------------------------------------------------------
+# the adaptive rule table and observed-telemetry overrides
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveRules:
+    def test_datagram_sized_messages_pick_ud(self):
+        plan = AdaptivePolicy().plan(make_context(message_size=4096))
+        assert plan.design == "MESQ/SR"
+        assert "datagram" in plan.reason
+
+    def test_starved_windows_pick_ud(self):
+        # 2 MiB over 8x8 flows is ~32 KiB per flow: a 1 MiB RC message
+        # never fills and the window drains as serialized EOS flushes.
+        ctx = make_context(message_size=1 << 20, bytes_per_node=2 << 20)
+        plan = AdaptivePolicy().plan(ctx)
+        assert plan.design == "MESQ/SR"
+        assert "never" in plan.reason
+
+    def test_qp_cache_pressure_picks_ud(self):
+        # FDR's 144-entry cache: 2*16*8 = 256 QPs >> the 25% budget.
+        ctx = make_context(nodes=16, qp_cache_entries=144)
+        plan = AdaptivePolicy().plan(ctx)
+        assert plan.design == "MESQ/SR"
+        assert "cache" in plan.reason
+
+    def test_cache_resident_regime_picks_rc(self):
+        # EDR n=8 t=8: 128 QPs < 25% of 1024 entries -> SEMQ/SR.
+        plan = AdaptivePolicy().plan(make_context())
+        assert plan.design == "SEMQ/SR"
+
+    def test_observed_misses_force_ud(self):
+        policy = AdaptivePolicy()
+        policy.observe(TelemetrySnapshot(qp_cache_miss_rate=0.5))
+        plan = policy.plan(make_context())
+        assert plan.design == "MESQ/SR"
+        assert "observed" in plan.reason
+
+    def test_observed_stalls_deepen_the_window(self):
+        policy = AdaptivePolicy()
+        policy.observe(TelemetrySnapshot(credit_stall_share=0.5))
+        plan = policy.plan(make_context())
+        assert plan.design == "SEMQ/SR"
+        assert plan.buffers_per_connection == AdaptivePolicy.deep_buffers
+
+    def test_quiet_telemetry_changes_nothing(self):
+        policy = AdaptivePolicy()
+        baseline = policy.plan(make_context())
+        policy.observe(TelemetrySnapshot(qp_cache_miss_rate=0.01,
+                                         credit_stall_share=0.01))
+        assert policy.plan(make_context()) == baseline
+
+    def test_oversubscribed_leaf_spine_delegates_to_hierarchical(self):
+        ctx = make_context(topology_kind="leaf-spine", oversubscription=4,
+                           nodes_per_leaf=4, allow_hierarchical=True)
+        plan = AdaptivePolicy().plan(ctx)
+        assert plan.hierarchical
+        # ...but only where the runner can execute a two-phase plan.
+        flat = AdaptivePolicy().plan(
+            dataclasses.replace(ctx, allow_hierarchical=False))
+        assert not flat.hierarchical
+
+
+class TestHierarchicalPolicy:
+    def test_flat_fallback_off_leaf_spine(self):
+        plan = HierarchicalPolicy().plan(
+            make_context(allow_hierarchical=True))
+        assert not plan.hierarchical
+        assert plan.design == "MESQ/SR"
+        assert "fallback" in plan.reason
+
+    def test_flat_fallback_for_broadcast(self):
+        ctx = make_context(topology_kind="leaf-spine", oversubscription=4,
+                           nodes_per_leaf=4, allow_hierarchical=True,
+                           pattern="broadcast")
+        assert not HierarchicalPolicy().plan(ctx).hierarchical
+
+    def test_two_phase_plan_shape(self):
+        ctx = make_context(topology_kind="leaf-spine", oversubscription=4,
+                           nodes_per_leaf=4, allow_hierarchical=True)
+        plan = HierarchicalPolicy().plan(ctx)
+        assert plan.design == "MESQ/SR"
+        assert plan.inter is not None
+        assert plan.inter.design == "SEMQ/SR"
+        assert plan.inter.buffers_per_connection == 16
+        # Inter-leaf streams run at the Fig 9 sweet spot or above.
+        assert plan.inter.message_size >= 64 * 1024
+        # 4 nodes/leaf at 4:1 -> the floor of two concurrent streams.
+        assert plan.inter_concurrency == 2
+        assert "hier" in plan.describe()
+
+    def test_concurrency_matches_trunk_rate(self):
+        ctx = make_context(nodes=16, topology_kind="leaf-spine",
+                           oversubscription=2, nodes_per_leaf=8,
+                           allow_hierarchical=True)
+        assert HierarchicalPolicy().plan(ctx).inter_concurrency == 4
+
+
+# ---------------------------------------------------------------------------
+# quota clamp & footprint conformance (the logic deduped out of
+# service/scheduler.py and service/quota.py)
+# ---------------------------------------------------------------------------
+
+
+class TestQuotaClamp:
+    def natural_footprint(self, threads=2):
+        return plan_footprint("MEMQ/SR", 3, threads)
+
+    def test_uncapped_context_never_clamps(self):
+        plan = StaticPolicy("MEMQ/SR").plan(make_context(nodes=3, threads=2))
+        assert not plan.clamped
+        assert plan.runnable
+        assert plan.num_endpoints is None
+
+    def test_tight_cap_walks_endpoints_down(self):
+        single_qps, _ = plan_footprint("MEMQ/SR", 3, 2, num_endpoints=1)
+        natural_qps, _ = self.natural_footprint()
+        assert single_qps < natural_qps
+        ctx = make_context(nodes=3, threads=2, max_qps=single_qps)
+        plan = StaticPolicy("MEMQ/SR").plan(ctx)
+        assert plan.clamped
+        assert plan.runnable
+        assert plan.num_endpoints == 1
+        assert "clamped" in plan.reason
+
+    def test_impossible_cap_marks_unrunnable(self):
+        single_qps, _ = plan_footprint("MEMQ/SR", 3, 2, num_endpoints=1)
+        ctx = make_context(nodes=3, threads=2, max_qps=single_qps - 1)
+        plan = StaticPolicy("MEMQ/SR").plan(ctx)
+        assert not plan.runnable
+        assert "unrunnable" in plan.reason
+
+    def test_plan_footprint_covers_stage_with_overrides(self):
+        # The conformance guarantee must survive a plan's parameter
+        # overrides (the adaptive deep-window path), not just defaults.
+        nodes, threads = 3, 2
+        cluster = make_cluster(nodes=nodes, threads=threads)
+        quotas = QuotaManager()
+        cluster.enable_quotas(quotas)
+        plan = StagePlan(design="SEMQ/SR", buffers_per_connection=16)
+        config = dataclasses.replace(plan.apply(EndpointConfig()),
+                                     tenant="t")
+        stage = cluster.shuffle_stage(
+            plan, TransmissionGroups.repartition(nodes), config=config)
+        cluster.run_process(stage.setup(), name="setup")
+        qps, registered = plan_footprint(
+            plan.design, nodes, threads, config=plan.apply(EndpointConfig()))
+        usage = quotas.usage("t")
+        assert usage.peak_qps <= qps
+        assert usage.peak_registered_bytes <= registered
+        stage.dispose()
+
+
+# ---------------------------------------------------------------------------
+# the two-phase (hierarchical) runner
+# ---------------------------------------------------------------------------
+
+
+class TestHierarchicalRunner:
+    def test_every_byte_lands(self):
+        cluster = make_cluster(nodes=4, threads=2, topology=LEAF4X2)
+        volume = 2 << 20
+        result = run_repartition(cluster, HierarchicalPolicy(),
+                                 bytes_per_node=volume)
+        assert "hier" in result.design
+        assert result.elapsed_ns > 0
+        # Per-thread volumes floor up to the template batch, so received
+        # bytes can only exceed the nominal total.
+        assert result.total_received_bytes >= 4 * volume
+        assert result.total_received_rows > 0
+        # Both stages' resources are accounted.
+        assert result.qps_per_node > 0
+        assert result.registered_bytes_per_node > 0
+
+    def test_flat_plan_is_rejected(self):
+        cluster = make_cluster(nodes=4, threads=2, topology=LEAF4X2)
+        with pytest.raises(ValueError, match="inter-leaf"):
+            run_hierarchical(cluster, StagePlan(design="MESQ/SR"))
+
+    def test_single_leaf_falls_back_to_flat(self):
+        # All four nodes share one leaf: no trunk, so a hierarchical
+        # plan degrades to the intra design run flat.
+        cluster = make_cluster(
+            nodes=4, threads=2,
+            topology=LEAF_SPINE(oversubscription=2, nodes_per_leaf=4))
+        plan = StagePlan(design="MESQ/SR",
+                         inter=StagePlan(design="SEMQ/SR"),
+                         inter_concurrency=2)
+        result = run_hierarchical(cluster, plan, bytes_per_node=1 << 20)
+        assert result.design == "MESQ/SR"
+        assert result.total_received_bytes >= 4 * (1 << 20)
+
+    def test_broadcast_never_goes_hierarchical(self):
+        cluster = make_cluster(nodes=4, threads=2, topology=LEAF4X2)
+        result = run_broadcast(cluster, HierarchicalPolicy(),
+                               bytes_per_node=1 << 20)
+        assert result.design == "MESQ/SR"
+        assert result.pattern == "broadcast"
+
+
+# ---------------------------------------------------------------------------
+# service integration: observe() -> mid-run re-plan
+# ---------------------------------------------------------------------------
+
+
+class TestServiceAdaptiveSwitch:
+    def test_adaptive_tenant_switches_under_neighbour_thrash(self):
+        """An adaptive tenant starts in the RC regime (its own working
+        set fits the 64-entry cache), an MEMQ/SR aggressor drives the
+        shared cache's measured miss rate over the threshold, and the
+        victim's later jobs switch to the UD design — recorded per job
+        in ``job.meta['design']``."""
+        cluster = make_cluster(nodes=4, threads=1, qp_cache_entries=64)
+        tenants = [
+            TenantSpec("adapt", policy=AdaptivePolicy(),
+                       bytes_per_job=256 << 10,
+                       mean_interarrival_ns=1_000_000, jobs=4),
+            TenantSpec("mq", design="MEMQ/SR", bytes_per_job=512 << 10,
+                       mean_interarrival_ns=500_000, jobs=4),
+        ]
+        service = ShuffleService(cluster, tenants,
+                                 config=ServiceConfig(max_concurrent=2))
+        report = service.run()
+        assert report["failed"] == []
+        jobs = [j for j in service.completed if j.tenant.name == "adapt"]
+        assert len(jobs) == 4
+        designs = [j.meta["design"] for j in jobs]
+        # Plan-time rules picked RC (2*4*1 = 8 QPs < 16-entry budget)...
+        assert designs[0] == "SEMQ/SR"
+        # ...and the observed shared-cache miss rate forced the switch.
+        assert designs[-1] == "MESQ/SR"
+        assert all(j.meta["policy"] == "adaptive" for j in jobs)
+
+    def test_static_tenants_record_their_fixed_design(self):
+        cluster = make_cluster(nodes=2, threads=2)
+        tenants = [TenantSpec("t", design="SEMQ/SR",
+                              bytes_per_job=256 << 10, jobs=2)]
+        service = ShuffleService(cluster, tenants)
+        service.run()
+        assert [j.meta["design"] for j in service.completed] == \
+            ["SEMQ/SR", "SEMQ/SR"]
+        assert service.completed[0].meta["policy"] == "static:SEMQ/SR"
+
+
+class TestPolicyProtocol:
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ShufflePolicy().plan(make_context())
+
+    def test_describe_round_trips(self):
+        assert StaticPolicy("SEMQ/SR").describe() == "static:SEMQ/SR"
+        assert AdaptivePolicy().describe() == "adaptive"
+        assert HierarchicalPolicy().describe() == \
+            "hierarchical:MESQ/SR+SEMQ/SR"
